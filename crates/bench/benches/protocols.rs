@@ -1,0 +1,173 @@
+//! Criterion benches: wall-clock cost of the main protocols and primitives
+//! at fixed sizes. The quantitative reproduction tables (bits / locality)
+//! come from the `harness` binary; these benches track simulation throughput
+//! so regressions in the substrate are caught.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpca_core::{all_to_all, local_mpc, mpc, tradeoff, ExecutionPath, ProtocolParams};
+use mpca_crypto::lwe::LweParams;
+use mpca_crypto::Prg;
+use mpca_encfunc::spec::Functionality;
+use mpca_net::{CommonRandomString, Simulator};
+
+fn sum_params(n: usize, h: usize) -> ProtocolParams {
+    ProtocolParams::new(n, h).with_lwe(LweParams {
+        plaintext_modulus: 1 << 16,
+        ..LweParams::toy()
+    })
+}
+
+fn sum_inputs(n: usize) -> Vec<Vec<u8>> {
+    (0..n as u16).map(|i| (i * 23 + 7).to_le_bytes().to_vec()).collect()
+}
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_committee_mpc");
+    group.sample_size(10);
+    for (n, h) in [(32usize, 16usize), (64, 32)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_h{h}")),
+            &(n, h),
+            |b, &(n, h)| {
+                let params = sum_params(n, h);
+                let functionality = Functionality::Sum { input_bytes: 2 };
+                let inputs = sum_inputs(n);
+                b.iter(|| {
+                    let crs = CommonRandomString::from_label(b"bench-thm1");
+                    let parties = mpc::mpc_parties(
+                        &params,
+                        &functionality,
+                        ExecutionPath::Concrete,
+                        &inputs,
+                        crs,
+                        None,
+                        &BTreeSet::new(),
+                    );
+                    Simulator::all_honest(n, parties).unwrap().run().unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2_sparse_gossip_mpc");
+    group.sample_size(10);
+    for (n, h) in [(32usize, 16usize), (48, 24)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_h{h}")),
+            &(n, h),
+            |b, &(n, h)| {
+                let params = sum_params(n, h);
+                let functionality = Functionality::Sum { input_bytes: 2 };
+                let inputs = sum_inputs(n);
+                b.iter(|| {
+                    let crs = CommonRandomString::from_label(b"bench-thm2");
+                    let parties = local_mpc::local_mpc_parties(
+                        &params,
+                        &functionality,
+                        &inputs,
+                        crs,
+                        &BTreeSet::new(),
+                    );
+                    Simulator::all_honest(n, parties).unwrap().run().unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_theorem4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem4_tradeoff_mpc");
+    group.sample_size(10);
+    for (n, h) in [(32usize, 16usize), (48, 24)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_h{h}")),
+            &(n, h),
+            |b, &(n, h)| {
+                let params = sum_params(n, h);
+                let functionality = Functionality::Sum { input_bytes: 2 };
+                let inputs = sum_inputs(n);
+                b.iter(|| {
+                    let crs = CommonRandomString::from_label(b"bench-thm4");
+                    let parties = tradeoff::tradeoff_parties(
+                        &params,
+                        &functionality,
+                        ExecutionPath::Concrete,
+                        &inputs,
+                        crs,
+                        None,
+                        &BTreeSet::new(),
+                    );
+                    Simulator::all_honest(n, parties).unwrap().run().unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_to_all_broadcast");
+    group.sample_size(10);
+    for n in [16usize, 24] {
+        let inputs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 64]).collect();
+        let naive_inputs = inputs.clone();
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| {
+                Simulator::all_honest(n, all_to_all::naive_parties(&naive_inputs, &BTreeSet::new()))
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            });
+        });
+        let succinct_inputs = inputs.clone();
+        group.bench_with_input(BenchmarkId::new("succinct", n), &n, |b, &n| {
+            b.iter(|| {
+                Simulator::all_honest(
+                    n,
+                    all_to_all::succinct_parties(&succinct_inputs, 24, b"bench-a2a", &BTreeSet::new()),
+                )
+                .unwrap()
+                .run()
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.bench_function("sha256_4KiB", |b| {
+        let data = vec![7u8; 4096];
+        b.iter(|| mpca_crypto::sha256(&data));
+    });
+    group.bench_function("lwe_encrypt_32B_toy", |b| {
+        let params = LweParams::toy();
+        let mut prg = Prg::from_seed_bytes(b"bench-lwe");
+        let (pk, _sk) = mpca_crypto::lwe::keygen(&params, &mut prg);
+        let message = vec![1u8; 32];
+        b.iter(|| pk.encrypt_bytes(&mut prg, &message));
+    });
+    group.bench_function("equality_fingerprint_64KiB", |b| {
+        let data = vec![3u8; 64 * 1024];
+        b.iter(|| mpca_crypto::fingerprint(&data, 1_000_000_007));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_theorem1,
+    bench_theorem2,
+    bench_theorem4,
+    bench_all_to_all,
+    bench_primitives
+);
+criterion_main!(benches);

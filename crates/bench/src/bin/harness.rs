@@ -1,0 +1,41 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p mpca-bench --release --bin harness            # run everything
+//!   cargo run -p mpca-bench --release --bin harness -- E1-comm-thm1 E4-lower-bound
+//!   cargo run -p mpca-bench --release --bin harness -- --list
+
+use mpca_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &registry {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&(&str, fn() -> mpca_bench::Table)> =
+        if args.is_empty() || args.iter().any(|a| a == "all") {
+            registry.iter().collect()
+        } else {
+            registry
+                .iter()
+                .filter(|(id, _)| args.iter().any(|a| a == id))
+                .collect()
+        };
+
+    if selected.is_empty() {
+        eprintln!("no matching experiments; use --list to see the available ids");
+        std::process::exit(1);
+    }
+
+    for (id, run) in selected {
+        eprintln!("running {id} ...");
+        let table = run();
+        println!("{}", table.render());
+    }
+}

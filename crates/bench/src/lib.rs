@@ -1,0 +1,14 @@
+//! # mpca-bench
+//!
+//! The experiment harness that regenerates every quantitative claim of the
+//! paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results). Each `exp_*` function returns a printable
+//! table; the `harness` binary selects and prints them.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

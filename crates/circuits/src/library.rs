@@ -1,0 +1,228 @@
+//! The workload library: the concrete functionalities evaluated in the
+//! paper-reproduction experiments.
+//!
+//! Each builder returns a [`Circuit`] whose input is the concatenation of
+//! the `n` parties' fixed-width inputs (party 0 first). The workloads mirror
+//! the kinds of constant-depth / low-depth functions the paper's statements
+//! are phrased for, plus the multi-output auction workload used by the
+//! §4.3 generalisation.
+
+use crate::builder::{Bus, CircuitBuilder};
+use crate::circuit::Circuit;
+
+/// XOR of all parties' `width`-bit inputs (constant multiplicative depth 0).
+pub fn xor_aggregate(parties: usize, width: usize) -> Circuit {
+    assert!(parties >= 1, "need at least one party");
+    let mut b = CircuitBuilder::new();
+    let mut acc: Option<Bus> = None;
+    for _ in 0..parties {
+        let input = b.input_bus(width);
+        acc = Some(match acc {
+            None => input,
+            Some(prev) => b.xor_bus(&prev, &input),
+        });
+    }
+    b.finish_with_bus(&acc.expect("at least one party"))
+        .expect("builder produces valid circuits")
+}
+
+/// Sum of all parties' `width`-bit inputs modulo `2^width`.
+pub fn sum_mod(parties: usize, width: usize) -> Circuit {
+    assert!(parties >= 1, "need at least one party");
+    let mut b = CircuitBuilder::new();
+    let mut acc: Option<Bus> = None;
+    for _ in 0..parties {
+        let input = b.input_bus(width);
+        acc = Some(match acc {
+            None => input,
+            Some(prev) => b.add_mod(&prev, &input),
+        });
+    }
+    b.finish_with_bus(&acc.expect("at least one party"))
+        .expect("builder produces valid circuits")
+}
+
+/// Majority vote: each party contributes one bit; the output bit is 1 iff
+/// strictly more than half the parties voted 1.
+pub fn majority(parties: usize) -> Circuit {
+    assert!(parties >= 1, "need at least one party");
+    let count_width = (usize::BITS - parties.leading_zeros()) as usize + 1;
+    let mut b = CircuitBuilder::new();
+    // Sum the votes.
+    let mut acc = b.constant_bus(0, count_width);
+    for _ in 0..parties {
+        let vote = b.input();
+        let vote_bus = b.bus_from_wire(vote, count_width);
+        acc = b.add_mod(&acc, &vote_bus);
+    }
+    // Compare against floor(parties / 2).
+    let threshold = b.constant_bus((parties / 2) as u64, count_width);
+    let is_majority = b.greater_than(&acc, &threshold);
+    b.output(is_majority);
+    b.finish().expect("builder produces valid circuits")
+}
+
+/// First-price auction: each party submits a `width`-bit bid; the output is
+/// the maximum bid followed by the winning party index.
+pub fn auction_max(parties: usize, width: usize) -> Circuit {
+    assert!(parties >= 1, "need at least one party");
+    let index_width = (usize::BITS - parties.leading_zeros()) as usize;
+    let mut b = CircuitBuilder::new();
+    let mut best_bid: Option<Bus> = None;
+    let mut best_idx: Option<Bus> = None;
+    for i in 0..parties {
+        let bid = b.input_bus(width);
+        let idx = b.constant_bus(i as u64, index_width);
+        match (best_bid.take(), best_idx.take()) {
+            (None, None) => {
+                best_bid = Some(bid);
+                best_idx = Some(idx);
+            }
+            (Some(prev_bid), Some(prev_idx)) => {
+                let new_wins = b.greater_than(&bid, &prev_bid);
+                best_bid = Some(b.mux_bus(new_wins, &bid, &prev_bid));
+                best_idx = Some(b.mux_bus(new_wins, &idx, &prev_idx));
+            }
+            _ => unreachable!("bid and index tracked together"),
+        }
+    }
+    b.output_bus(&best_bid.expect("at least one party"));
+    b.output_bus(&best_idx.expect("at least one party"));
+    b.finish().expect("builder produces valid circuits")
+}
+
+/// All-equal test: outputs 1 iff every party supplied the same `width`-bit
+/// input.
+pub fn all_equal(parties: usize, width: usize) -> Circuit {
+    assert!(parties >= 1, "need at least one party");
+    let mut b = CircuitBuilder::new();
+    let first = b.input_bus(width);
+    let mut acc = b.constant(true);
+    for _ in 1..parties {
+        let other = b.input_bus(width);
+        let eq = b.equals(&first, &other);
+        acc = b.and(acc, eq);
+    }
+    b.output(acc);
+    b.finish().expect("builder produces valid circuits")
+}
+
+/// Threshold tally: outputs 1 iff at least `threshold` of the parties' input
+/// bits are set (a generalisation of [`majority`]).
+pub fn threshold_vote(parties: usize, threshold: usize) -> Circuit {
+    assert!(parties >= 1, "need at least one party");
+    assert!(threshold >= 1 && threshold <= parties, "threshold out of range");
+    let count_width = (usize::BITS - parties.leading_zeros()) as usize + 1;
+    let mut b = CircuitBuilder::new();
+    let mut acc = b.constant_bus(0, count_width);
+    for _ in 0..parties {
+        let vote = b.input();
+        let vote_bus = b.bus_from_wire(vote, count_width);
+        acc = b.add_mod(&acc, &vote_bus);
+    }
+    let limit = b.constant_bus(threshold as u64 - 1, count_width);
+    let reached = b.greater_than(&acc, &limit);
+    b.output(reached);
+    b.finish().expect("builder produces valid circuits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(circuit: &Circuit, party_values: &[(u64, usize)]) -> u64 {
+        let bits: Vec<bool> = party_values
+            .iter()
+            .flat_map(|(value, width)| (0..*width).map(move |i| (value >> i) & 1 == 1))
+            .collect();
+        let out = circuit.evaluate(&bits).unwrap();
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(bit) << i))
+    }
+
+    #[test]
+    fn xor_aggregate_matches_reference() {
+        let circuit = xor_aggregate(4, 8);
+        let inputs = [(0xAAu64, 8), (0x0F, 8), (0xF0, 8), (0x3C, 8)];
+        assert_eq!(eval(&circuit, &inputs), 0xAA ^ 0x0F ^ 0xF0 ^ 0x3C);
+        assert_eq!(circuit.multiplicative_depth(), 0);
+    }
+
+    #[test]
+    fn sum_mod_matches_reference() {
+        let circuit = sum_mod(5, 8);
+        let values = [200u64, 100, 17, 255, 1];
+        let inputs: Vec<(u64, usize)> = values.iter().map(|&v| (v, 8)).collect();
+        assert_eq!(eval(&circuit, &inputs), values.iter().sum::<u64>() % 256);
+    }
+
+    #[test]
+    fn majority_various() {
+        for n in [1usize, 2, 3, 4, 5, 9] {
+            let circuit = majority(n);
+            for ones in 0..=n {
+                let inputs: Vec<(u64, usize)> = (0..n).map(|i| (u64::from(i < ones), 1)).collect();
+                let expect = u64::from(ones * 2 > n);
+                assert_eq!(eval(&circuit, &inputs), expect, "n={n}, ones={ones}");
+            }
+        }
+    }
+
+    #[test]
+    fn auction_picks_highest_bid_and_winner() {
+        let circuit = auction_max(4, 8);
+        let bids = [37u64, 201, 15, 90];
+        let inputs: Vec<(u64, usize)> = bids.iter().map(|&b| (b, 8)).collect();
+        let out = eval(&circuit, &inputs);
+        let max_bid = out & 0xFF;
+        let winner = out >> 8;
+        assert_eq!(max_bid, 201);
+        assert_eq!(winner, 1);
+    }
+
+    #[test]
+    fn auction_tie_goes_to_earlier_party() {
+        let circuit = auction_max(3, 4);
+        let out = eval(&circuit, &[(9, 4), (9, 4), (3, 4)]);
+        assert_eq!(out & 0xF, 9);
+        assert_eq!(out >> 4, 0, "strict comparison keeps the earlier winner");
+    }
+
+    #[test]
+    fn all_equal_detects_differences() {
+        let circuit = all_equal(3, 4);
+        assert_eq!(eval(&circuit, &[(7, 4), (7, 4), (7, 4)]), 1);
+        assert_eq!(eval(&circuit, &[(7, 4), (7, 4), (6, 4)]), 0);
+        let single = all_equal(1, 4);
+        assert_eq!(eval(&single, &[(3, 4)]), 1);
+    }
+
+    #[test]
+    fn threshold_vote_counts() {
+        let circuit = threshold_vote(6, 4);
+        for ones in 0..=6usize {
+            let inputs: Vec<(u64, usize)> = (0..6).map(|i| (u64::from(i < ones), 1)).collect();
+            assert_eq!(eval(&circuit, &inputs), u64::from(ones >= 4), "ones={ones}");
+        }
+    }
+
+    #[test]
+    fn workload_depths_are_modest() {
+        // The paper targets low-depth functions; make sure the library's
+        // workloads have multiplicative depth well below their sizes.
+        for (circuit, label) in [
+            (xor_aggregate(16, 8), "xor"),
+            (sum_mod(16, 8), "sum"),
+            (majority(16), "majority"),
+            (auction_max(8, 8), "auction"),
+            (all_equal(8, 8), "all_equal"),
+        ] {
+            assert!(
+                circuit.multiplicative_depth() <= circuit.gate_count(),
+                "{label}: depth sanity"
+            );
+            assert!(circuit.multiplicative_depth() >= 1 || label == "xor");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Single-source broadcast with abort (§2.1 of the paper, after [26]).
+//!
+//! The sender sends its message to everyone; every party echoes what it
+//! received to everyone else; a party outputs the message only if all echoes
+//! (and the direct copy, if any) agree, and aborts if it observes two
+//! different values. Honest parties that output therefore output the same
+//! value, even though no agreement on *whether* to output is reached — the
+//! defining relaxation of broadcast **with abort**.
+
+use std::collections::BTreeSet;
+
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Number of rounds the protocol takes.
+pub const ROUNDS: usize = 3;
+
+/// Wire messages of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastMsg {
+    /// Round 0: the sender's message.
+    Send(Vec<u8>),
+    /// Round 1: each party's echo of what it received (`None` = nothing).
+    Echo(Option<Vec<u8>>),
+}
+
+impl Encode for BroadcastMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            BroadcastMsg::Send(m) => {
+                w.put_u8(0);
+                w.put_len_prefixed(m);
+            }
+            BroadcastMsg::Echo(m) => {
+                w.put_u8(1);
+                m.as_ref().map(|v| v.as_slice()).map(|v| v.to_vec()).encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for BroadcastMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(BroadcastMsg::Send(r.get_len_prefixed()?.to_vec())),
+            1 => Ok(BroadcastMsg::Echo(Option::<Vec<u8>>::decode(r)?)),
+            other => Err(WireError::InvalidDiscriminant {
+                ty: "BroadcastMsg",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// One party of the single-source broadcast-with-abort protocol.
+#[derive(Debug)]
+pub struct BroadcastParty {
+    id: PartyId,
+    n: usize,
+    sender: PartyId,
+    /// The message to broadcast (only meaningful when `id == sender`).
+    message: Option<Vec<u8>>,
+    /// What this party heard directly from the sender.
+    received: Option<Vec<u8>>,
+}
+
+impl BroadcastParty {
+    /// Creates the sender party.
+    pub fn sender(id: PartyId, n: usize, message: Vec<u8>) -> Self {
+        Self {
+            id,
+            n,
+            sender: id,
+            message: Some(message),
+            received: None,
+        }
+    }
+
+    /// Creates a receiving party.
+    pub fn receiver(id: PartyId, n: usize, sender: PartyId) -> Self {
+        Self {
+            id,
+            n,
+            sender,
+            message: None,
+            received: None,
+        }
+    }
+
+    fn others(&self) -> impl Iterator<Item = PartyId> + '_ {
+        PartyId::all(self.n).filter(move |p| *p != self.id)
+    }
+}
+
+impl PartyLogic for BroadcastParty {
+    type Output = Vec<u8>;
+
+    fn id(&self) -> PartyId {
+        self.id
+    }
+
+    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+        match round {
+            // Broadcast step.
+            0 => {
+                if self.id == self.sender {
+                    let message = self.message.clone().expect("sender has a message");
+                    self.received = Some(message.clone());
+                    let others: Vec<PartyId> = self.others().collect();
+                    ctx.send_to_all(others, &BroadcastMsg::Send(message));
+                }
+                Step::Continue
+            }
+            // Verification step: echo what was received from the sender.
+            1 => {
+                if self.id != self.sender {
+                    let from_sender: Vec<&Envelope> =
+                        incoming.iter().filter(|e| e.from == self.sender).collect();
+                    if from_sender.len() > 1 {
+                        return Step::Abort(AbortReason::OverReceipt(
+                            "sender sent more than one message".into(),
+                        ));
+                    }
+                    if let Some(envelope) = from_sender.first() {
+                        match envelope.decode::<BroadcastMsg>() {
+                            Ok(BroadcastMsg::Send(m)) => self.received = Some(m),
+                            Ok(_) => {
+                                return Step::Abort(AbortReason::Malformed(
+                                    "expected a Send message".into(),
+                                ))
+                            }
+                            Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                        }
+                    }
+                }
+                let echo = BroadcastMsg::Echo(self.received.clone());
+                let others: Vec<PartyId> = self.others().collect();
+                ctx.send_to_all(others, &echo);
+                Step::Continue
+            }
+            // Output step: all echoes must agree.
+            2 => {
+                let mut seen: BTreeSet<PartyId> = BTreeSet::new();
+                let mut value = self.received.clone();
+                for envelope in incoming {
+                    if !seen.insert(envelope.from) {
+                        return Step::Abort(AbortReason::OverReceipt(format!(
+                            "duplicate echo from {}",
+                            envelope.from
+                        )));
+                    }
+                    let echoed = match envelope.decode::<BroadcastMsg>() {
+                        Ok(BroadcastMsg::Echo(m)) => m,
+                        Ok(_) => {
+                            return Step::Abort(AbortReason::Malformed(
+                                "expected an Echo message".into(),
+                            ))
+                        }
+                        Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                    };
+                    match (&value, echoed) {
+                        (_, None) => {}
+                        (None, Some(m)) => value = Some(m),
+                        (Some(current), Some(m)) => {
+                            if *current != m {
+                                return Step::Abort(AbortReason::Equivocation(format!(
+                                    "{} echoed a different value",
+                                    envelope.from
+                                )));
+                            }
+                        }
+                    }
+                }
+                match value {
+                    Some(m) => Step::Output(m),
+                    None => Step::Abort(AbortReason::MissingMessage(
+                        "no value heard from the sender".into(),
+                    )),
+                }
+            }
+            _ => Step::Abort(AbortReason::BoundViolated("broadcast ran past its rounds".into())),
+        }
+    }
+}
+
+/// Builds the honest parties for a broadcast where `sender` broadcasts
+/// `message`, skipping the ids in `corrupted`.
+pub fn broadcast_parties(
+    n: usize,
+    sender: PartyId,
+    message: Vec<u8>,
+    corrupted: &BTreeSet<PartyId>,
+) -> Vec<BroadcastParty> {
+    PartyId::all(n)
+        .filter(|id| !corrupted.contains(id))
+        .map(|id| {
+            if id == sender {
+                BroadcastParty::sender(id, n, message.clone())
+            } else {
+                BroadcastParty::receiver(id, n, sender)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpca_net::{ProxyAdversary, SilentAdversary, SimConfig, Simulator};
+
+    #[test]
+    fn all_honest_broadcast_delivers() {
+        let n = 6;
+        let message = b"the value is 42".to_vec();
+        let parties = broadcast_parties(n, PartyId(2), message.clone(), &BTreeSet::new());
+        let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
+        assert_eq!(result.unanimous_output(), Some(&message));
+        assert_eq!(result.rounds, ROUNDS);
+        // O(n·ℓ + n²·ℓ) total bytes: every party echoes to everyone.
+        assert!(result.stats.total_messages() >= (n as u64 - 1) * n as u64);
+    }
+
+    #[test]
+    fn silent_sender_leads_to_abort_everywhere() {
+        let n = 5;
+        let corrupted: BTreeSet<PartyId> = [PartyId(0)].into_iter().collect();
+        let parties = broadcast_parties(n, PartyId(0), vec![], &corrupted);
+        let sim = Simulator::new(
+            n,
+            parties,
+            Box::new(SilentAdversary::new(corrupted)),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        assert!(result.all_aborted());
+    }
+
+    #[test]
+    fn equivocating_sender_is_caught() {
+        let n = 6;
+        let corrupted: BTreeSet<PartyId> = [PartyId(0)].into_iter().collect();
+        let honest = broadcast_parties(n, PartyId(0), b"real".to_vec(), &corrupted);
+        // The corrupted sender sends "real" to half the parties and "fake" to
+        // the rest; it echoes honestly.
+        let corrupted_logic =
+            vec![BroadcastParty::sender(PartyId(0), n, b"real".to_vec())];
+        let adversary = ProxyAdversary::new(corrupted_logic, n, |round, envelope| {
+            let mut out = envelope.clone();
+            if round == 0 && envelope.to.index() % 2 == 0 {
+                out.payload = mpca_wire::to_bytes(&BroadcastMsg::Send(b"fake".to_vec()));
+            }
+            vec![out]
+        });
+        let sim = Simulator::new(n, honest, Box::new(adversary), SimConfig::default()).unwrap();
+        let result = sim.run().unwrap();
+        // No honest party may output a value other than what other honest
+        // parties output: with equivocation every honest party aborts.
+        assert!(result.all_aborted());
+    }
+
+    #[test]
+    fn corrupted_receiver_cannot_split_honest_outputs() {
+        let n = 6;
+        // Receiver 3 is corrupted and lies in its echo.
+        let corrupted: BTreeSet<PartyId> = [PartyId(3)].into_iter().collect();
+        let honest = broadcast_parties(n, PartyId(0), b"value".to_vec(), &corrupted);
+        let corrupted_logic = vec![BroadcastParty::receiver(PartyId(3), n, PartyId(0))];
+        let adversary = ProxyAdversary::new(corrupted_logic, n, |round, envelope| {
+            let mut out = envelope.clone();
+            if round == 1 {
+                out.payload = mpca_wire::to_bytes(&BroadcastMsg::Echo(Some(b"lie".to_vec())));
+            }
+            vec![out]
+        });
+        let sim = Simulator::new(n, honest, Box::new(adversary), SimConfig::default()).unwrap();
+        let result = sim.run().unwrap();
+        // Every honest party sees the sender's value and the liar's echo and
+        // aborts; none outputs the lie.
+        for outcome in result.outcomes.values() {
+            if let Some(output) = outcome.output() {
+                assert_eq!(output, &b"value".to_vec());
+            }
+        }
+        assert!(result.any_abort());
+    }
+
+    #[test]
+    fn message_wire_round_trip() {
+        for msg in [
+            BroadcastMsg::Send(vec![1, 2, 3]),
+            BroadcastMsg::Echo(None),
+            BroadcastMsg::Echo(Some(vec![9])),
+        ] {
+            let back: BroadcastMsg = mpca_wire::from_bytes(&mpca_wire::to_bytes(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Responsible gossip over the sparse routing network (Algorithm 6).
+//!
+//! Parties with a (non-null) input send `(source = me, value)` to their
+//! neighbours; every party forwards each *new* rumour exactly once to all of
+//! its neighbours. If a party ever hears two different values attributed to
+//! the same source (an equivocation), it sends a warning to its neighbours
+//! and aborts; warnings are themselves forwarded once before aborting.
+//! Because the honest subgraph is connected (Claim 20), all honest parties
+//! either end with identical views of the honest inputs or someone detects
+//! an equivocation and the warning floods the honest subgraph (Claim 21).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// The output: the rumours heard, keyed by source.
+pub type GossipView = BTreeMap<PartyId, Vec<u8>>;
+
+/// Wire messages of the gossip protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GossipMsg {
+    /// A rumour: "`source`'s input is `value`".
+    Rumor {
+        /// The party the rumour is about.
+        source: PartyId,
+        /// The claimed input value.
+        value: Vec<u8>,
+    },
+    /// An equivocation warning: abort and tell your neighbours.
+    Warning,
+}
+
+impl Encode for GossipMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GossipMsg::Rumor { source, value } => {
+                w.put_u8(0);
+                source.encode(w);
+                w.put_len_prefixed(value);
+            }
+            GossipMsg::Warning => w.put_u8(1),
+        }
+    }
+}
+
+impl Decode for GossipMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(GossipMsg::Rumor {
+                source: PartyId::decode(r)?,
+                value: r.get_len_prefixed()?.to_vec(),
+            }),
+            1 => Ok(GossipMsg::Warning),
+            other => Err(WireError::InvalidDiscriminant {
+                ty: "GossipMsg",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// One party of the gossip protocol.
+///
+/// The number of forwarding rounds is fixed up front (see
+/// [`ProtocolParams::gossip_rounds`](crate::params::ProtocolParams::gossip_rounds));
+/// rumours that have not arrived by then are simply absent from the view.
+#[derive(Debug)]
+pub struct GossipParty {
+    id: PartyId,
+    neighbors: BTreeSet<PartyId>,
+    /// This party's own input (`None` = Null input, nothing to announce).
+    input: Option<Vec<u8>>,
+    total_rounds: usize,
+    view: GossipView,
+    /// Sources whose rumour has already been forwarded.
+    forwarded: BTreeSet<PartyId>,
+    /// Set when an equivocation was detected; the warning is sent and the
+    /// party aborts at the end of the round.
+    warned: bool,
+}
+
+impl GossipParty {
+    /// Creates a gossip party over the given neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_rounds < 2`.
+    pub fn new(
+        id: PartyId,
+        neighbors: BTreeSet<PartyId>,
+        input: Option<Vec<u8>>,
+        total_rounds: usize,
+    ) -> Self {
+        assert!(total_rounds >= 2, "gossip needs at least two rounds");
+        Self {
+            id,
+            neighbors,
+            input,
+            total_rounds,
+            view: GossipView::new(),
+            forwarded: BTreeSet::new(),
+            warned: false,
+        }
+    }
+
+    fn broadcast_to_neighbors(&self, ctx: &mut PartyCtx, msg: &GossipMsg) {
+        for peer in &self.neighbors {
+            ctx.send_msg(*peer, msg);
+        }
+    }
+
+    /// Handles a rumour; returns `false` if an equivocation was detected.
+    fn absorb_rumor(&mut self, source: PartyId, value: Vec<u8>, ctx: &mut PartyCtx) -> bool {
+        match self.view.get(&source) {
+            Some(existing) if *existing != value => false,
+            Some(_) => true,
+            None => {
+                self.view.insert(source, value.clone());
+                if self.forwarded.insert(source) {
+                    self.broadcast_to_neighbors(ctx, &GossipMsg::Rumor { source, value });
+                }
+                true
+            }
+        }
+    }
+}
+
+impl PartyLogic for GossipParty {
+    type Output = GossipView;
+
+    fn id(&self) -> PartyId {
+        self.id
+    }
+
+    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<GossipView> {
+        if round == 0 {
+            if let Some(value) = self.input.clone() {
+                self.view.insert(self.id, value.clone());
+                self.forwarded.insert(self.id);
+                self.broadcast_to_neighbors(
+                    ctx,
+                    &GossipMsg::Rumor {
+                        source: self.id,
+                        value,
+                    },
+                );
+            }
+            return Step::Continue;
+        }
+        if round >= self.total_rounds {
+            return Step::Abort(AbortReason::BoundViolated("gossip ran past its rounds".into()));
+        }
+
+        for envelope in incoming {
+            if !self.neighbors.contains(&envelope.from) {
+                return Step::Abort(AbortReason::OverReceipt(format!(
+                    "message from non-neighbour {}",
+                    envelope.from
+                )));
+            }
+            match envelope.decode::<GossipMsg>() {
+                Ok(GossipMsg::Rumor { source, value }) => {
+                    if !self.absorb_rumor(source, value, ctx) {
+                        self.warned = true;
+                    }
+                }
+                Ok(GossipMsg::Warning) => {
+                    self.warned = true;
+                }
+                Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+            }
+        }
+        if self.warned {
+            self.broadcast_to_neighbors(ctx, &GossipMsg::Warning);
+            return Step::Abort(AbortReason::Equivocation(
+                "conflicting rumours observed (or warning received)".into(),
+            ));
+        }
+        if round + 1 == self.total_rounds {
+            Step::Output(std::mem::take(&mut self.view))
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    use mpca_net::{Adversary, AdversaryCtx, SimConfig, Simulator};
+
+    use crate::params::ProtocolParams;
+    use crate::sparse::{sparse_parties, Neighborhood};
+
+    /// Builds a routing graph by running SparseNetwork honestly, then returns
+    /// per-party neighbourhoods.
+    fn routing_graph(params: &ProtocolParams, seed: &[u8]) -> BTreeMap<PartyId, BTreeSet<PartyId>> {
+        let parties = sparse_parties(params, seed, &BTreeSet::new());
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        result
+            .outcomes
+            .iter()
+            .map(|(id, o)| {
+                let Neighborhood { neighbors } = o.output().unwrap().clone();
+                (*id, neighbors)
+            })
+            .collect()
+    }
+
+    fn gossip_parties(
+        graph: &BTreeMap<PartyId, BTreeSet<PartyId>>,
+        inputs: &BTreeMap<PartyId, Vec<u8>>,
+        rounds: usize,
+        corrupted: &BTreeSet<PartyId>,
+    ) -> Vec<GossipParty> {
+        graph
+            .iter()
+            .filter(|(id, _)| !corrupted.contains(id))
+            .map(|(id, neighbors)| {
+                GossipParty::new(*id, neighbors.clone(), inputs.get(id).cloned(), rounds)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_gossip_delivers_every_input() {
+        let params = ProtocolParams::new(48, 24);
+        let graph = routing_graph(&params, b"gossip-graph");
+        let inputs: BTreeMap<PartyId, Vec<u8>> = PartyId::all(params.n)
+            .map(|id| (id, vec![id.index() as u8; 3]))
+            .collect();
+        let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &BTreeSet::new());
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert!(!result.any_abort());
+        let expected: GossipView = inputs.clone();
+        assert_eq!(result.unanimous_output(), Some(&expected));
+    }
+
+    #[test]
+    fn null_inputs_are_simply_absent() {
+        let params = ProtocolParams::new(32, 16);
+        let graph = routing_graph(&params, b"gossip-null");
+        // Only even parties have inputs (mirrors Algorithm 7's usage where
+        // only self-elected parties announce).
+        let inputs: BTreeMap<PartyId, Vec<u8>> = PartyId::all(params.n)
+            .filter(|id| id.index() % 2 == 0)
+            .map(|id| (id, vec![id.index() as u8]))
+            .collect();
+        let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &BTreeSet::new());
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert_eq!(result.unanimous_output(), Some(&inputs));
+    }
+
+    #[test]
+    fn locality_is_bounded_by_the_graph_degree() {
+        let params = ProtocolParams::new(64, 32);
+        let graph = routing_graph(&params, b"gossip-locality");
+        let max_degree = graph.values().map(BTreeSet::len).max().unwrap();
+        let inputs: BTreeMap<PartyId, Vec<u8>> = PartyId::all(params.n)
+            .map(|id| (id, vec![1u8, 2, 3, 4]))
+            .collect();
+        let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &BTreeSet::new());
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert!(
+            result.honest_locality() <= max_degree,
+            "gossip locality {} exceeds graph degree {max_degree}",
+            result.honest_locality()
+        );
+        assert!(result.honest_locality() < params.n - 1, "should not be a clique");
+    }
+
+    #[test]
+    fn equivocating_source_triggers_warnings_and_aborts() {
+        let params = ProtocolParams::new(24, 20);
+        let graph = routing_graph(&params, b"gossip-equiv");
+        let corrupted: BTreeSet<PartyId> = [PartyId(0)].into_iter().collect();
+        let inputs: BTreeMap<PartyId, Vec<u8>> = PartyId::all(params.n)
+            .map(|id| (id, vec![id.index() as u8]))
+            .collect();
+
+        /// The corrupted source tells half its neighbours one value and the
+        /// other half a different value.
+        struct Equivocator {
+            corrupted: BTreeSet<PartyId>,
+            neighbors: BTreeSet<PartyId>,
+        }
+        impl Adversary for Equivocator {
+            fn corrupted(&self) -> &BTreeSet<PartyId> {
+                &self.corrupted
+            }
+            fn on_round(
+                &mut self,
+                round: usize,
+                _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+                ctx: &mut AdversaryCtx,
+            ) {
+                if round == 0 {
+                    for (i, peer) in self.neighbors.iter().enumerate() {
+                        let value = if i % 2 == 0 { vec![0xAA] } else { vec![0xBB] };
+                        ctx.send_msg_as(
+                            PartyId(0),
+                            *peer,
+                            &GossipMsg::Rumor {
+                                source: PartyId(0),
+                                value,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let adversary = Equivocator {
+            corrupted: corrupted.clone(),
+            neighbors: graph[&PartyId(0)].clone(),
+        };
+        let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &corrupted);
+        let result = Simulator::new(params.n, parties, Box::new(adversary), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        // The two conflicting rumours spread through the connected honest
+        // subgraph, so some honest party observes both and the warning
+        // cascades: every honest party must abort (none outputs a view that
+        // silently contains one of the two lies as truth *and* differs from
+        // another honest party's view).
+        let views: Vec<&GossipView> = result.outcomes.values().filter_map(|o| o.output()).collect();
+        for window in views.windows(2) {
+            assert_eq!(window[0], window[1], "non-aborting views must agree");
+        }
+        assert!(result.any_abort(), "equivocation must be detected somewhere");
+    }
+
+    #[test]
+    fn message_wire_round_trip() {
+        for msg in [
+            GossipMsg::Rumor {
+                source: PartyId(7),
+                value: vec![1, 2, 3],
+            },
+            GossipMsg::Warning,
+        ] {
+            let back: GossipMsg = mpca_wire::from_bytes(&mpca_wire::to_bytes(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! MPC with abort with near-optimal locality (Theorem 2 / Theorem 18).
+//!
+//! The protocol replaces the complete communication graph by the sparse
+//! routing network of Algorithm 5 and realises simultaneous broadcast by the
+//! responsible-gossip protocol of Algorithm 6:
+//!
+//! 1. `SparseNetwork` — every party ends up with `Õ(n/h)` neighbours.
+//! 2. First gossip phase: every party gossips its Theorem 9 first-round
+//!    payload (its contribution to the one simultaneous broadcast that the
+//!    MPC-from-LWE protocol needs).
+//! 3. Second gossip phase: every party gossips its output-phase payload
+//!    (partial decryptions) and cross-checks the resulting output.
+//!
+//! Communication is dominated by gossiping `n` payloads over the
+//! `O(n·d) = Õ(n²/h)` edges of the routing graph:
+//! `Õ(n³/h · poly(λ, D))` bits total with locality `Õ(n/h)` — Theorem 2.
+//!
+//! **Substitution note.** The real construction broadcasts multi-key-FHE
+//! ciphertexts and recovers the output from everyone's partial decryptions;
+//! implementing MK-FHE is out of scope (DESIGN.md §3), so the gossiped
+//! payload here carries the party's input padded to the Theorem 9 size and
+//! the output is computed locally from the (verified-consistent) gossip
+//! view. The communication pattern, payload sizes, abort logic and locality
+//! — the quantities Theorem 2 bounds — are unchanged; input privacy in this
+//! path relies on the hybrid-model argument rather than on real ciphertexts.
+
+use std::collections::BTreeSet;
+
+use mpca_encfunc::spec::Functionality;
+use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+
+use crate::gossip::{GossipParty, GossipView};
+use crate::params::ProtocolParams;
+use crate::sparse::{Neighborhood, SparseNetworkParty};
+
+/// Total number of rounds: sparse network + two gossip phases.
+pub fn rounds(params: &ProtocolParams) -> usize {
+    crate::sparse::ROUNDS + 2 * params.gossip_rounds()
+}
+
+/// One party of the Theorem 2 protocol.
+#[derive(Debug)]
+pub struct LocalMpcParty {
+    id: PartyId,
+    params: ProtocolParams,
+    functionality: Functionality,
+    input: Vec<u8>,
+
+    sparse: Option<SparseNetworkParty>,
+    neighbors: BTreeSet<PartyId>,
+    gossip_inputs: Option<GossipParty>,
+    gossip_outputs: Option<GossipParty>,
+    output: Option<Vec<u8>>,
+}
+
+impl LocalMpcParty {
+    /// Creates a party.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the functionality.
+    pub fn new(
+        id: PartyId,
+        params: ProtocolParams,
+        functionality: Functionality,
+        input: Vec<u8>,
+        crs: CommonRandomString,
+    ) -> Self {
+        params.validate();
+        assert_eq!(
+            input.len(),
+            functionality.input_bytes(),
+            "input width does not match the functionality"
+        );
+        let sparse = SparseNetworkParty::new(id, params, crs.party_prg(id, b"local-mpc-sparse"));
+        Self {
+            id,
+            params,
+            functionality,
+            input,
+            sparse: Some(sparse),
+            neighbors: BTreeSet::new(),
+            gossip_inputs: None,
+            gossip_outputs: None,
+            output: None,
+        }
+    }
+
+    /// The Theorem 9 first-round payload: the input padded to
+    /// `poly(λ, D, ℓ_in)` bytes.
+    fn input_payload(&self) -> Vec<u8> {
+        let size = self
+            .params
+            .cost_model(self.functionality.depth())
+            .broadcast_payload_bytes(self.functionality.input_bytes());
+        let mut payload = self.input.clone();
+        payload.resize(size.max(self.input.len()), 0);
+        payload
+    }
+
+    /// The output-phase payload: the locally computed output padded to the
+    /// partial-decryption size.
+    fn output_payload(&self, output: &[u8]) -> Vec<u8> {
+        let size = self
+            .params
+            .cost_model(self.functionality.depth())
+            .partial_decryption_bytes()
+            * 8
+            * output.len().max(1);
+        let mut payload = output.to_vec();
+        payload.resize((size / 8).max(output.len()), 0);
+        payload
+    }
+
+    /// Recovers each party's input from the gossiped payload view and
+    /// evaluates the functionality (missing parties default to zero input).
+    fn evaluate_from_view(&self, view: &GossipView) -> Vec<u8> {
+        let width = self.functionality.input_bytes();
+        let inputs: Vec<Vec<u8>> = PartyId::all(self.params.n)
+            .map(|id| {
+                let mut bytes = view.get(&id).cloned().unwrap_or_default();
+                bytes.resize(width, 0);
+                bytes.truncate(width);
+                bytes
+            })
+            .collect();
+        self.functionality.evaluate(&inputs)
+    }
+}
+
+impl PartyLogic for LocalMpcParty {
+    type Output = Vec<u8>;
+
+    fn id(&self) -> PartyId {
+        self.id
+    }
+
+    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+        let gossip_rounds = self.params.gossip_rounds();
+
+        // Phase A: sparse routing network.
+        if round < crate::sparse::ROUNDS {
+            let sparse = self.sparse.as_mut().expect("sparse phase in progress");
+            return match sparse.on_round(round, incoming, ctx) {
+                Step::Continue => Step::Continue,
+                Step::Abort(reason) => Step::Abort(reason),
+                Step::Output(Neighborhood { neighbors }) => {
+                    self.neighbors = neighbors;
+                    self.sparse = None;
+                    self.gossip_inputs = Some(GossipParty::new(
+                        self.id,
+                        self.neighbors.clone(),
+                        Some(self.input_payload()),
+                        gossip_rounds,
+                    ));
+                    Step::Continue
+                }
+            };
+        }
+
+        // Phase B: gossip the input payloads.
+        let phase_b_end = crate::sparse::ROUNDS + gossip_rounds;
+        if round < phase_b_end {
+            let gossip = self
+                .gossip_inputs
+                .as_mut()
+                .expect("input gossip in progress");
+            return match gossip.on_round(round - crate::sparse::ROUNDS, incoming, ctx) {
+                Step::Continue => Step::Continue,
+                Step::Abort(reason) => Step::Abort(reason),
+                Step::Output(view) => {
+                    let output = self.evaluate_from_view(&view);
+                    let payload = self.output_payload(&output);
+                    self.output = Some(output);
+                    self.gossip_inputs = None;
+                    self.gossip_outputs = Some(GossipParty::new(
+                        self.id,
+                        self.neighbors.clone(),
+                        Some(payload),
+                        gossip_rounds,
+                    ));
+                    Step::Continue
+                }
+            };
+        }
+
+        // Phase C: gossip the output payloads and cross-check.
+        let gossip = self
+            .gossip_outputs
+            .as_mut()
+            .expect("output gossip in progress");
+        match gossip.on_round(round - phase_b_end, incoming, ctx) {
+            Step::Continue => Step::Continue,
+            Step::Abort(reason) => Step::Abort(reason),
+            Step::Output(view) => {
+                let my_output = self.output.clone().expect("computed after phase B");
+                let my_payload_prefix = my_output.clone();
+                for (source, payload) in &view {
+                    if *source == self.id {
+                        continue;
+                    }
+                    if payload.len() < my_payload_prefix.len()
+                        || payload[..my_payload_prefix.len()] != my_payload_prefix[..]
+                    {
+                        return Step::Abort(AbortReason::Equivocation(format!(
+                            "{source} reported a different output"
+                        )));
+                    }
+                }
+                Step::Output(my_output)
+            }
+        }
+    }
+}
+
+/// Builds the honest parties of a Theorem 2 execution.
+pub fn local_mpc_parties(
+    params: &ProtocolParams,
+    functionality: &Functionality,
+    inputs: &[Vec<u8>],
+    crs: CommonRandomString,
+    corrupted: &BTreeSet<PartyId>,
+) -> Vec<LocalMpcParty> {
+    assert_eq!(inputs.len(), params.n, "one input per party required");
+    PartyId::all(params.n)
+        .filter(|id| !corrupted.contains(id))
+        .map(|id| {
+            LocalMpcParty::new(
+                id,
+                *params,
+                functionality.clone(),
+                inputs[id.index()].clone(),
+                crs,
+            )
+        })
+        .collect()
+}
+
+/// Reference evaluation used by tests and experiments: the output honest
+/// parties should compute when the corrupted parties stay silent.
+pub fn expected_output(
+    functionality: &Functionality,
+    inputs: &[Vec<u8>],
+    corrupted: &BTreeSet<PartyId>,
+) -> Vec<u8> {
+    let width = functionality.input_bytes();
+    let effective: Vec<Vec<u8>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            if corrupted.contains(&PartyId(i)) {
+                vec![0u8; width]
+            } else {
+                input.clone()
+            }
+        })
+        .collect();
+    functionality.evaluate(&effective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    use mpca_net::{Adversary, AdversaryCtx, SilentAdversary, SimConfig, Simulator};
+
+    fn xor_setup(n: usize) -> (Functionality, Vec<Vec<u8>>) {
+        let functionality = Functionality::Xor { input_bytes: 2 };
+        let inputs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8, (i * 7) as u8]).collect();
+        (functionality, inputs)
+    }
+
+    #[test]
+    fn all_honest_execution_computes_the_function() {
+        let params = ProtocolParams::new(32, 16);
+        let (functionality, inputs) = xor_setup(params.n);
+        let crs = CommonRandomString::from_label(b"local-mpc");
+        let parties = local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert!(!result.any_abort());
+        let expected = expected_output(&functionality, &inputs, &BTreeSet::new());
+        assert_eq!(result.unanimous_output(), Some(&expected));
+        assert_eq!(result.rounds, rounds(&params));
+    }
+
+    #[test]
+    fn locality_is_far_below_the_clique() {
+        let params = ProtocolParams::new(96, 64);
+        let (functionality, inputs) = xor_setup(params.n);
+        let crs = CommonRandomString::from_label(b"local-mpc-locality");
+        let parties = local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert!(!result.any_abort());
+        let locality = result.honest_locality();
+        assert!(
+            locality <= params.sparse_degree() + params.sparse_in_bound(),
+            "locality {locality} exceeds the routing-graph degree bound"
+        );
+        assert!(locality < params.n / 2, "locality {locality} is not sublinear");
+    }
+
+    #[test]
+    fn silent_corruptions_still_give_agreement() {
+        let params = ProtocolParams::new(24, 18);
+        let (functionality, inputs) = xor_setup(params.n);
+        let corrupted: BTreeSet<PartyId> = (0..6).map(PartyId).collect();
+        let crs = CommonRandomString::from_label(b"local-mpc-silent");
+        let parties = local_mpc_parties(&params, &functionality, &inputs, crs, &corrupted);
+        let result = Simulator::new(
+            params.n,
+            parties,
+            Box::new(SilentAdversary::new(corrupted.clone())),
+            SimConfig::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let expected = expected_output(&functionality, &inputs, &corrupted);
+        assert!(result.correct_or_aborted(&expected));
+    }
+
+    #[test]
+    fn equivocating_input_is_detected() {
+        let params = ProtocolParams::new(20, 16);
+        let (functionality, inputs) = xor_setup(params.n);
+        let corrupted: BTreeSet<PartyId> = [PartyId(3)].into_iter().collect();
+        let crs = CommonRandomString::from_label(b"local-mpc-equiv");
+
+        /// Sends two different input payloads to different neighbours during
+        /// the input-gossip phase.
+        struct SplitInput {
+            corrupted: BTreeSet<PartyId>,
+            n: usize,
+        }
+        impl Adversary for SplitInput {
+            fn corrupted(&self) -> &BTreeSet<PartyId> {
+                &self.corrupted
+            }
+            fn on_round(
+                &mut self,
+                round: usize,
+                _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+                ctx: &mut AdversaryCtx,
+            ) {
+                // Round 2 is the first gossip round (after the 2 sparse
+                // rounds); spray conflicting rumours to everyone — honest
+                // parties that are not neighbours ignore them, neighbours
+                // absorb them.
+                if round == crate::sparse::ROUNDS {
+                    for to in PartyId::all(self.n) {
+                        if self.corrupted.contains(&to) {
+                            continue;
+                        }
+                        let value = if to.index() % 2 == 0 {
+                            vec![0xAA; 4]
+                        } else {
+                            vec![0xBB; 4]
+                        };
+                        ctx.send_msg_as(
+                            PartyId(3),
+                            to,
+                            &crate::gossip::GossipMsg::Rumor {
+                                source: PartyId(3),
+                                value,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let parties = local_mpc_parties(&params, &functionality, &inputs, crs, &corrupted);
+        let result = Simulator::new(
+            params.n,
+            parties,
+            Box::new(SplitInput {
+                corrupted: corrupted.clone(),
+                n: params.n,
+            }),
+            SimConfig::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        // Some honest parties abort (non-neighbour sender, or equivocation,
+        // or mismatching outputs); crucially no two honest parties output
+        // different values.
+        let outputs: Vec<&Vec<u8>> = result.outcomes.values().filter_map(|o| o.output()).collect();
+        for window in outputs.windows(2) {
+            assert_eq!(window[0], window[1]);
+        }
+        assert!(result.any_abort());
+    }
+}

@@ -1,0 +1,859 @@
+//! Communication-optimal MPC with abort (Algorithm 3, Theorem 1).
+//!
+//! The protocol delegates the computation to a small, randomly elected
+//! committee:
+//!
+//! 1. Run [`CommitteeElect`](crate::committee) (Algorithm 2).
+//! 2. The committee generates a public/secret key pair whose secret key is
+//!    additively shared among the members (`F_Gen`).
+//! 3. Every member forwards the public key to all `n` parties; a party that
+//!    sees two different keys aborts.
+//! 4. Every party encrypts its input under the key and sends the ciphertext
+//!    to (its view of) the committee.
+//! 5. Committee members pairwise check, with succinct equality tests, that
+//!    they received identical ciphertext vectors.
+//! 6. The committee evaluates the functionality on the encrypted inputs
+//!    (`F_Comp`).
+//! 7. Every member forwards the output to all parties; a party that sees two
+//!    different outputs aborts.
+//!
+//! Communication (Claim 15): `O(n²·h⁻¹·poly(λ, D, log n))` bits. With the
+//! concrete execution path steps 2 and 6 use real distributed key generation,
+//! homomorphic aggregation and threshold decryption; with the hybrid path the
+//! ideal functionality computes the result while the members exchange
+//! Theorem 9-sized messages.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
+use mpca_crypto::lwe::{LweCiphertext, LwePublicKey};
+use mpca_crypto::threshold::{combine_partials, PartialDecryption, ThresholdDecryptor};
+use mpca_crypto::Prg;
+use mpca_encfunc::keygen::{combine_contributions, shared_matrix_from_crs, KeygenContribution};
+use mpca_encfunc::linear;
+use mpca_encfunc::spec::Functionality;
+use mpca_encfunc::SharedHost;
+use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::committee::{CommitteeElectParty, CommitteeView};
+use crate::equality::PairwiseEquality;
+use crate::params::{ExecutionPath, ProtocolParams};
+
+/// Number of rounds the protocol takes (committee election included).
+pub const ROUNDS: usize = crate::committee::ROUNDS + 8;
+
+/// Wire messages of Algorithm 3 (excluding the embedded committee-election
+/// messages, which use [`crate::committee::CommitteeMsg`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcMsg {
+    /// Concrete path: a member's distributed-keygen contribution.
+    Keygen(KeygenContribution),
+    /// Hybrid path: a Theorem 9-sized realisation message (opaque payload).
+    Filler(Vec<u8>),
+    /// A member forwarding the committee public key (`b` vector).
+    PublicKey(Vec<u64>),
+    /// A party's encrypted input.
+    InputCt(LweCiphertext),
+    /// Equality challenge over the member's ciphertext view.
+    CtChallenge(EqualityChallenge),
+    /// Equality response.
+    CtResponse(EqualityResponse),
+    /// Concrete path: a member's partial decryption of the aggregate.
+    Partial(PartialDecryption),
+    /// A member forwarding the final output.
+    Output(Vec<u8>),
+}
+
+impl Encode for MpcMsg {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MpcMsg::Keygen(c) => {
+                w.put_u8(0);
+                c.encode(w);
+            }
+            MpcMsg::Filler(bytes) => {
+                w.put_u8(1);
+                w.put_len_prefixed(bytes);
+            }
+            MpcMsg::PublicKey(b) => {
+                w.put_u8(2);
+                w.put_uvarint(b.len() as u64);
+                for v in b {
+                    w.put_u64(*v);
+                }
+            }
+            MpcMsg::InputCt(ct) => {
+                w.put_u8(3);
+                ct.encode(w);
+            }
+            MpcMsg::CtChallenge(c) => {
+                w.put_u8(4);
+                c.encode(w);
+            }
+            MpcMsg::CtResponse(r) => {
+                w.put_u8(5);
+                r.encode(w);
+            }
+            MpcMsg::Partial(p) => {
+                w.put_u8(6);
+                p.encode(w);
+            }
+            MpcMsg::Output(out) => {
+                w.put_u8(7);
+                w.put_len_prefixed(out);
+            }
+        }
+    }
+}
+
+impl Decode for MpcMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(MpcMsg::Keygen(KeygenContribution::decode(r)?)),
+            1 => Ok(MpcMsg::Filler(r.get_len_prefixed()?.to_vec())),
+            2 => {
+                let len = r.get_uvarint()? as usize;
+                if len > 1 << 20 {
+                    return Err(WireError::Invalid("public key too long"));
+                }
+                let mut b = Vec::with_capacity(len.min(4096));
+                for _ in 0..len {
+                    b.push(r.get_u64()?);
+                }
+                Ok(MpcMsg::PublicKey(b))
+            }
+            3 => Ok(MpcMsg::InputCt(LweCiphertext::decode(r)?)),
+            4 => Ok(MpcMsg::CtChallenge(EqualityChallenge::decode(r)?)),
+            5 => Ok(MpcMsg::CtResponse(EqualityResponse::decode(r)?)),
+            6 => Ok(MpcMsg::Partial(PartialDecryption::decode(r)?)),
+            7 => Ok(MpcMsg::Output(r.get_len_prefixed()?.to_vec())),
+            other => Err(WireError::InvalidDiscriminant {
+                ty: "MpcMsg",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// Canonically encodes a member's view of the collected ciphertexts.
+pub(crate) fn encode_ct_view(view: &BTreeMap<PartyId, Vec<u8>>) -> Vec<u8> {
+    mpca_wire::to_bytes(view)
+}
+
+/// One party of the Algorithm 3 MPC-with-abort protocol.
+pub struct MpcParty {
+    id: PartyId,
+    params: ProtocolParams,
+    functionality: Functionality,
+    path: ExecutionPath,
+    input: Vec<u8>,
+    prg: Prg,
+    host: Option<SharedHost>,
+    shared_a: Vec<u64>,
+
+    // Phase state.
+    elect: Option<CommitteeElectParty>,
+    committee: BTreeSet<PartyId>,
+    is_member: bool,
+    decryptor: Option<ThresholdDecryptor>,
+    contributions: Vec<KeygenContribution>,
+    pk_b: Option<Vec<u64>>,
+    ct_view: BTreeMap<PartyId, Vec<u8>>,
+    equality: Option<PairwiseEquality>,
+    aggregate: Option<LweCiphertext>,
+    partials: Vec<PartialDecryption>,
+    output: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for MpcParty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpcParty")
+            .field("id", &self.id)
+            .field("path", &self.path)
+            .field("is_member", &self.is_member)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MpcParty {
+    /// Creates a party.
+    ///
+    /// For [`ExecutionPath::Hybrid`] a [`SharedHost`] must be provided (all
+    /// parties of one execution share the same host); for
+    /// [`ExecutionPath::Concrete`] the functionality must support the
+    /// concrete path under the chosen LWE parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration (missing host, unsupported
+    /// concrete functionality, wrong input width).
+    pub fn new(
+        id: PartyId,
+        params: ProtocolParams,
+        functionality: Functionality,
+        path: ExecutionPath,
+        input: Vec<u8>,
+        crs: CommonRandomString,
+        host: Option<SharedHost>,
+    ) -> Self {
+        params.validate();
+        assert_eq!(
+            input.len(),
+            functionality.input_bytes(),
+            "input width does not match the functionality"
+        );
+        match path {
+            ExecutionPath::Concrete => assert!(
+                linear::supports_concrete_path(&params.lwe, &functionality),
+                "functionality does not support the concrete threshold-LWE path"
+            ),
+            ExecutionPath::Hybrid => {
+                assert!(host.is_some(), "the hybrid path requires a shared host")
+            }
+        }
+        let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"mpc-lwe-matrix"));
+        let prg = crs.party_prg(id, b"mpc-party");
+        let elect = CommitteeElectParty::new(id, params, crs.party_prg(id, b"mpc-elect"));
+        Self {
+            id,
+            params,
+            functionality,
+            path,
+            input,
+            prg,
+            host,
+            shared_a,
+            elect: Some(elect),
+            committee: BTreeSet::new(),
+            is_member: false,
+            decryptor: None,
+            contributions: Vec::new(),
+            pk_b: None,
+            ct_view: BTreeMap::new(),
+            equality: None,
+            aggregate: None,
+            partials: Vec::new(),
+            output: None,
+        }
+    }
+
+    fn all_parties(&self) -> Vec<PartyId> {
+        PartyId::all(self.params.n).collect()
+    }
+
+    fn other_members(&self) -> Vec<PartyId> {
+        self.committee.iter().copied().filter(|c| *c != self.id).collect()
+    }
+
+    fn reconstruct_pk(&self, b: &[u64]) -> Option<LwePublicKey> {
+        if b.len() != self.params.lwe.pk_rows {
+            return None;
+        }
+        Some(LwePublicKey {
+            params: self.params.lwe,
+            a: self.shared_a.clone(),
+            b: b.to_vec(),
+        })
+    }
+
+    fn filler(&self, bytes: usize) -> MpcMsg {
+        MpcMsg::Filler(vec![0u8; bytes])
+    }
+
+    /// `F_Comp` on the collected ciphertexts, hybrid path.
+    fn hybrid_compute(&mut self) -> Option<Vec<u8>> {
+        let host = self.host.as_ref()?;
+        let cts: Vec<LweCiphertext> = self
+            .all_parties()
+            .iter()
+            .map(|p| match self.ct_view.get(p) {
+                Some(bytes) => mpca_wire::from_bytes(bytes)
+                    .unwrap_or(LweCiphertext { chunks: Vec::new() }),
+                None => LweCiphertext { chunks: Vec::new() },
+            })
+            .collect();
+        host.borrow_mut().compute(&cts)
+    }
+
+    /// Homomorphic aggregation of the collected ciphertexts, concrete path.
+    fn concrete_aggregate(&self) -> Option<LweCiphertext> {
+        let cts: Vec<LweCiphertext> = self
+            .ct_view
+            .values()
+            .filter_map(|bytes| mpca_wire::from_bytes::<LweCiphertext>(bytes).ok())
+            .filter(|ct| ct.chunks.len() == 1 && ct.chunks[0].0.len() == self.params.lwe.dim)
+            .collect();
+        linear::aggregate_ciphertexts(&self.params.lwe, &cts)
+    }
+}
+
+impl PartyLogic for MpcParty {
+    type Output = Vec<u8>;
+
+    fn id(&self) -> PartyId {
+        self.id
+    }
+
+    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+        // Phase A: committee election (rounds 0..committee::ROUNDS).
+        if round < crate::committee::ROUNDS {
+            let elect = self.elect.as_mut().expect("election still in progress");
+            return match elect.on_round(round, incoming, ctx) {
+                Step::Continue => Step::Continue,
+                Step::Abort(reason) => Step::Abort(reason),
+                Step::Output(CommitteeView {
+                    committee,
+                    is_member,
+                }) => {
+                    if committee.is_empty() {
+                        return Step::Abort(AbortReason::MissingMessage(
+                            "empty committee".into(),
+                        ));
+                    }
+                    self.committee = committee;
+                    self.is_member = is_member;
+                    self.elect = None;
+                    Step::Continue
+                }
+            };
+        }
+
+        let phase = round - crate::committee::ROUNDS;
+        match phase {
+            // F_Gen sends (members only).
+            0 => {
+                if self.is_member {
+                    match self.path {
+                        ExecutionPath::Concrete => {
+                            let (contribution, decryptor) = KeygenContribution::generate(
+                                &self.params.lwe,
+                                &self.shared_a,
+                                &mut self.prg,
+                            );
+                            self.contributions.push(contribution.clone());
+                            self.decryptor = Some(decryptor);
+                            ctx.send_to_all(self.other_members(), &MpcMsg::Keygen(contribution));
+                        }
+                        ExecutionPath::Hybrid => {
+                            let host = self.host.as_ref().expect("hybrid host");
+                            let mut r = [0u8; 32];
+                            rand::RngCore::fill_bytes(&mut self.prg, &mut r);
+                            {
+                                let mut host = host.borrow_mut();
+                                host.set_expected_members(1);
+                                host.submit_enc_randomness(self.id.index(), r);
+                            }
+                            let cost = self
+                                .params
+                                .cost_model(self.functionality.depth())
+                                .broadcast_payload_bytes(self.params.lambda as usize / 8);
+                            let filler = self.filler(cost);
+                            ctx.send_to_all(self.other_members(), &filler);
+                        }
+                    }
+                }
+                Step::Continue
+            }
+            // F_Gen combine + forward pk to everyone (members only).
+            1 => {
+                if self.is_member {
+                    for envelope in incoming {
+                        if !self.committee.contains(&envelope.from) {
+                            return Step::Abort(AbortReason::OverReceipt(format!(
+                                "keygen message from non-member {}",
+                                envelope.from
+                            )));
+                        }
+                        match envelope.decode::<MpcMsg>() {
+                            Ok(MpcMsg::Keygen(c)) => self.contributions.push(c),
+                            Ok(MpcMsg::Filler(_)) => {}
+                            Ok(_) => {
+                                return Step::Abort(AbortReason::Malformed(
+                                    "unexpected message during keygen".into(),
+                                ))
+                            }
+                            Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                        }
+                    }
+                    let pk_b = match self.path {
+                        ExecutionPath::Concrete => {
+                            let pk = combine_contributions(
+                                &self.params.lwe,
+                                &self.shared_a,
+                                &self.contributions,
+                            );
+                            pk.b
+                        }
+                        ExecutionPath::Hybrid => {
+                            let host = self.host.as_ref().expect("hybrid host");
+                            let pk = host
+                                .borrow_mut()
+                                .public_key()
+                                .expect("all members have contributed");
+                            pk.b
+                        }
+                    };
+                    self.pk_b = Some(pk_b.clone());
+                    let recipients: Vec<PartyId> =
+                        self.all_parties().into_iter().filter(|p| *p != self.id).collect();
+                    ctx.send_to_all(recipients, &MpcMsg::PublicKey(pk_b));
+                }
+                Step::Continue
+            }
+            // Everyone: check pk consistency, encrypt input, send to committee.
+            2 => {
+                let mut received_pk: Option<Vec<u64>> = self.pk_b.clone();
+                for envelope in incoming {
+                    if !self.committee.contains(&envelope.from) {
+                        return Step::Abort(AbortReason::OverReceipt(format!(
+                            "public key from non-member {}",
+                            envelope.from
+                        )));
+                    }
+                    match envelope.decode::<MpcMsg>() {
+                        Ok(MpcMsg::PublicKey(b)) => match &received_pk {
+                            None => received_pk = Some(b),
+                            Some(existing) => {
+                                if *existing != b {
+                                    return Step::Abort(AbortReason::Equivocation(
+                                        "committee members sent different public keys".into(),
+                                    ));
+                                }
+                            }
+                        },
+                        Ok(_) => {
+                            return Step::Abort(AbortReason::Malformed(
+                                "expected a public key".into(),
+                            ))
+                        }
+                        Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                    }
+                }
+                let Some(pk_b) = received_pk else {
+                    return Step::Abort(AbortReason::MissingMessage(
+                        "no public key received from the committee".into(),
+                    ));
+                };
+                let Some(pk) = self.reconstruct_pk(&pk_b) else {
+                    return Step::Abort(AbortReason::Malformed("public key has wrong shape".into()));
+                };
+                self.pk_b = Some(pk_b);
+                let ct = match self.path {
+                    ExecutionPath::Concrete => linear::encrypt_concrete_input(
+                        &pk,
+                        &mut self.prg,
+                        &self.functionality,
+                        &self.input,
+                    )
+                    .expect("validated at construction"),
+                    ExecutionPath::Hybrid => pk.encrypt_bytes(&mut self.prg, &self.input),
+                };
+                let committee: Vec<PartyId> = self.committee.iter().copied().collect();
+                ctx.send_to_all(committee, &MpcMsg::InputCt(ct));
+                Step::Continue
+            }
+            // Members: collect ciphertexts and start the pairwise check.
+            3 => {
+                if self.is_member {
+                    for envelope in incoming {
+                        match envelope.decode::<MpcMsg>() {
+                            Ok(MpcMsg::InputCt(ct)) => {
+                                if self
+                                    .ct_view
+                                    .insert(envelope.from, mpca_wire::to_bytes(&ct))
+                                    .is_some()
+                                {
+                                    return Step::Abort(AbortReason::OverReceipt(format!(
+                                        "two ciphertexts from {}",
+                                        envelope.from
+                                    )));
+                                }
+                            }
+                            Ok(_) => {
+                                return Step::Abort(AbortReason::Malformed(
+                                    "expected an input ciphertext".into(),
+                                ))
+                            }
+                            Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                        }
+                    }
+                    let mut equality = PairwiseEquality::new(
+                        self.id,
+                        self.committee.iter().copied(),
+                        self.params.lambda,
+                    );
+                    let encoded = encode_ct_view(&self.ct_view);
+                    for (peer, challenge) in equality.build_challenges(&encoded, &mut self.prg) {
+                        ctx.send_msg(peer, &MpcMsg::CtChallenge(challenge));
+                    }
+                    self.equality = Some(equality);
+                } else if !incoming.is_empty() {
+                    return Step::Abort(AbortReason::OverReceipt(
+                        "ciphertext sent to a non-member".into(),
+                    ));
+                }
+                Step::Continue
+            }
+            // Members: respond to ciphertext-view challenges.
+            4 => {
+                if let Some(equality) = &mut self.equality {
+                    let encoded = encode_ct_view(&self.ct_view);
+                    for envelope in incoming {
+                        match envelope.decode::<MpcMsg>() {
+                            Ok(MpcMsg::CtChallenge(challenge)) => {
+                                if envelope.from >= self.id || !self.committee.contains(&envelope.from) {
+                                    equality.mark_failed();
+                                    continue;
+                                }
+                                let response = equality.respond(&challenge, &encoded);
+                                ctx.send_msg(envelope.from, &MpcMsg::CtResponse(response));
+                            }
+                            Ok(_) => {
+                                return Step::Abort(AbortReason::Malformed(
+                                    "expected a ciphertext challenge".into(),
+                                ))
+                            }
+                            Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                        }
+                    }
+                }
+                Step::Continue
+            }
+            // Members: verify, then F_Comp sends.
+            5 => {
+                if self.is_member {
+                    let equality = self.equality.as_mut().expect("member ran phase 3");
+                    for envelope in incoming {
+                        match envelope.decode::<MpcMsg>() {
+                            Ok(MpcMsg::CtResponse(response)) => equality.absorb_response(&response),
+                            Ok(_) => {
+                                return Step::Abort(AbortReason::Malformed(
+                                    "expected a ciphertext response".into(),
+                                ))
+                            }
+                            Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                        }
+                    }
+                    if equality.failed() {
+                        return Step::Abort(AbortReason::EqualityTestFailed(
+                            "ciphertext views are inconsistent".into(),
+                        ));
+                    }
+                    match self.path {
+                        ExecutionPath::Concrete => {
+                            let Some(aggregate) = self.concrete_aggregate() else {
+                                return Step::Abort(AbortReason::MissingMessage(
+                                    "no valid ciphertexts to aggregate".into(),
+                                ));
+                            };
+                            let decryptor = self.decryptor.as_ref().expect("member ran keygen");
+                            let partial = decryptor.partial_decrypt(&mut self.prg, &aggregate);
+                            self.partials.push(partial.clone());
+                            self.aggregate = Some(aggregate);
+                            ctx.send_to_all(self.other_members(), &MpcMsg::Partial(partial));
+                        }
+                        ExecutionPath::Hybrid => {
+                            let cost = self.params.cost_model(self.functionality.depth());
+                            let output_bits =
+                                8 * self.functionality.output_bytes(self.params.n).max(1);
+                            let bytes = output_bits * cost.partial_decryption_bytes() / 8;
+                            let filler = self.filler(bytes.max(1));
+                            ctx.send_to_all(self.other_members(), &filler);
+                        }
+                    }
+                }
+                Step::Continue
+            }
+            // Members: combine and forward the output to everyone.
+            6 => {
+                if self.is_member {
+                    let output = match self.path {
+                        ExecutionPath::Concrete => {
+                            for envelope in incoming {
+                                if !self.committee.contains(&envelope.from) {
+                                    return Step::Abort(AbortReason::OverReceipt(
+                                        "partial decryption from a non-member".into(),
+                                    ));
+                                }
+                                match envelope.decode::<MpcMsg>() {
+                                    Ok(MpcMsg::Partial(p)) => self.partials.push(p),
+                                    Ok(_) => {
+                                        return Step::Abort(AbortReason::Malformed(
+                                            "expected a partial decryption".into(),
+                                        ))
+                                    }
+                                    Err(e) => {
+                                        return Step::Abort(AbortReason::Malformed(e.to_string()))
+                                    }
+                                }
+                            }
+                            let aggregate = self.aggregate.as_ref().expect("member aggregated");
+                            let Some(chunks) =
+                                combine_partials(&self.params.lwe, aggregate, &self.partials)
+                            else {
+                                return Step::Abort(AbortReason::CryptoFailure(
+                                    "partial decryptions are inconsistent".into(),
+                                ));
+                            };
+                            linear::output_from_chunk(&self.functionality, chunks[0])
+                        }
+                        ExecutionPath::Hybrid => match self.hybrid_compute() {
+                            Some(out) => out,
+                            None => {
+                                return Step::Abort(AbortReason::CryptoFailure(
+                                    "encrypted functionality did not produce an output".into(),
+                                ))
+                            }
+                        },
+                    };
+                    self.output = Some(output.clone());
+                    let recipients: Vec<PartyId> =
+                        self.all_parties().into_iter().filter(|p| *p != self.id).collect();
+                    ctx.send_to_all(recipients, &MpcMsg::Output(output));
+                }
+                Step::Continue
+            }
+            // Everyone: check output consistency and terminate.
+            7 => {
+                let mut value: Option<Vec<u8>> = self.output.clone();
+                for envelope in incoming {
+                    if !self.committee.contains(&envelope.from) {
+                        return Step::Abort(AbortReason::OverReceipt(format!(
+                            "output from non-member {}",
+                            envelope.from
+                        )));
+                    }
+                    match envelope.decode::<MpcMsg>() {
+                        Ok(MpcMsg::Output(out)) => match &value {
+                            None => value = Some(out),
+                            Some(existing) => {
+                                if *existing != out {
+                                    return Step::Abort(AbortReason::Equivocation(
+                                        "committee members sent different outputs".into(),
+                                    ));
+                                }
+                            }
+                        },
+                        Ok(_) => {
+                            return Step::Abort(AbortReason::Malformed("expected an output".into()))
+                        }
+                        Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
+                    }
+                }
+                match value {
+                    Some(out) => Step::Output(out),
+                    None => Step::Abort(AbortReason::MissingMessage(
+                        "no output received from the committee".into(),
+                    )),
+                }
+            }
+            _ => Step::Abort(AbortReason::BoundViolated("MPC ran past its rounds".into())),
+        }
+    }
+}
+
+/// Builds the honest parties of an Algorithm 3 execution.
+///
+/// The per-party inputs are `inputs[i]`; parties whose id is in `corrupted`
+/// are skipped. For [`ExecutionPath::Hybrid`] a fresh [`SharedHost`] must be
+/// supplied; the same handle is shared by every honest committee member.
+pub fn mpc_parties(
+    params: &ProtocolParams,
+    functionality: &Functionality,
+    path: ExecutionPath,
+    inputs: &[Vec<u8>],
+    crs: CommonRandomString,
+    host: Option<SharedHost>,
+    corrupted: &BTreeSet<PartyId>,
+) -> Vec<MpcParty> {
+    assert_eq!(inputs.len(), params.n, "one input per party required");
+    PartyId::all(params.n)
+        .filter(|id| !corrupted.contains(id))
+        .map(|id| {
+            MpcParty::new(
+                id,
+                *params,
+                functionality.clone(),
+                path,
+                inputs[id.index()].clone(),
+                crs,
+                host.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Creates the shared ideal-functionality host for a hybrid-path execution.
+pub fn hybrid_host(
+    params: &ProtocolParams,
+    functionality: &Functionality,
+    crs: &CommonRandomString,
+) -> SharedHost {
+    let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"mpc-lwe-matrix"));
+    mpca_encfunc::EncFuncHost::new(
+        params.lwe,
+        mpca_encfunc::hybrid::HostFunctionality::Single(functionality.clone()),
+        1,
+    )
+    .with_shared_matrix(shared_a)
+    .shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpca_net::{SilentAdversary, SimConfig, Simulator};
+
+    fn sum_inputs(n: usize) -> (Vec<Vec<u8>>, Vec<u8>) {
+        let values: Vec<u16> = (0..n).map(|i| (i as u16) * 37 + 11).collect();
+        let inputs: Vec<Vec<u8>> = values.iter().map(|v| v.to_le_bytes().to_vec()).collect();
+        let expected: u16 = values.iter().fold(0u16, |acc, v| acc.wrapping_add(*v));
+        (inputs, expected.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn concrete_path_all_honest_computes_the_sum() {
+        let params = ProtocolParams::new(24, 8).with_lwe(mpca_crypto::lwe::LweParams {
+            plaintext_modulus: 1 << 16,
+            ..mpca_crypto::lwe::LweParams::toy()
+        });
+        let functionality = Functionality::Sum { input_bytes: 2 };
+        let (inputs, expected) = sum_inputs(params.n);
+        let crs = CommonRandomString::from_label(b"mpc-concrete");
+        let parties = mpc_parties(
+            &params,
+            &functionality,
+            ExecutionPath::Concrete,
+            &inputs,
+            crs,
+            None,
+            &BTreeSet::new(),
+        );
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert!(!result.any_abort(), "honest run should not abort");
+        assert_eq!(result.unanimous_output(), Some(&expected));
+        assert_eq!(result.rounds, ROUNDS);
+    }
+
+    #[test]
+    fn hybrid_path_all_honest_computes_the_xor() {
+        let params = ProtocolParams::new(16, 8);
+        let functionality = Functionality::Xor { input_bytes: 2 };
+        let inputs: Vec<Vec<u8>> = (0..params.n).map(|i| vec![i as u8, (i * 3) as u8]).collect();
+        let expected = functionality.evaluate(&inputs);
+        let crs = CommonRandomString::from_label(b"mpc-hybrid");
+        let host = hybrid_host(&params, &functionality, &crs);
+        let parties = mpc_parties(
+            &params,
+            &functionality,
+            ExecutionPath::Hybrid,
+            &inputs,
+            crs,
+            Some(host),
+            &BTreeSet::new(),
+        );
+        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        assert!(!result.any_abort());
+        assert_eq!(result.unanimous_output(), Some(&expected));
+    }
+
+    #[test]
+    fn silent_corrupted_parties_default_to_zero_inputs() {
+        // Corrupted parties that never send anything contribute the default
+        // input; honest parties still agree on the (adjusted) sum or abort.
+        let params = ProtocolParams::new(20, 12).with_lwe(mpca_crypto::lwe::LweParams {
+            plaintext_modulus: 1 << 16,
+            ..mpca_crypto::lwe::LweParams::toy()
+        });
+        let functionality = Functionality::Sum { input_bytes: 2 };
+        let (inputs, _) = sum_inputs(params.n);
+        let corrupted: BTreeSet<PartyId> = (0..4).map(PartyId).collect();
+        let honest_sum: u16 = inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !corrupted.contains(&PartyId(*i)))
+            .fold(0u16, |acc, (_, v)| {
+                acc.wrapping_add(u16::from_le_bytes([v[0], v[1]]))
+            });
+        let crs = CommonRandomString::from_label(b"mpc-silent");
+        let parties = mpc_parties(
+            &params,
+            &functionality,
+            ExecutionPath::Concrete,
+            &inputs,
+            crs,
+            None,
+            &corrupted,
+        );
+        let result = Simulator::new(
+            params.n,
+            parties,
+            Box::new(SilentAdversary::new(corrupted)),
+            SimConfig::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        // Either everyone aborted (allowed) or every output equals the honest
+        // parties' sum.
+        assert!(result.correct_or_aborted(&honest_sum.to_le_bytes().to_vec()));
+        // The honest committee members are all honest parties, so the run
+        // should in fact complete.
+        assert!(result.unanimous_output().is_some());
+    }
+
+    #[test]
+    fn communication_decreases_as_h_grows() {
+        // Theorem 1: Õ(n²/h). With n fixed, quadrupling h should reduce the
+        // honest communication noticeably.
+        let functionality = Functionality::Sum { input_bytes: 2 };
+        let run = |h: usize| {
+            let params = ProtocolParams::new(64, h).with_lwe(mpca_crypto::lwe::LweParams {
+                plaintext_modulus: 1 << 16,
+                ..mpca_crypto::lwe::LweParams::toy()
+            });
+            let (inputs, expected) = sum_inputs(params.n);
+            let crs = CommonRandomString::from_label(b"mpc-comm-scaling");
+            let parties = mpc_parties(
+                &params,
+                &functionality,
+                ExecutionPath::Concrete,
+                &inputs,
+                crs,
+                None,
+                &BTreeSet::new(),
+            );
+            let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+            assert_eq!(result.unanimous_output(), Some(&expected));
+            result.honest_bits()
+        };
+        let low_h = run(8);
+        let high_h = run(64);
+        assert!(
+            high_h * 2 < low_h,
+            "h=64 should be much cheaper than h=8: {high_h} vs {low_h} bits"
+        );
+    }
+
+    #[test]
+    fn message_wire_round_trip() {
+        let mut prg = Prg::from_seed_bytes(b"mpc-wire");
+        let params = mpca_crypto::lwe::LweParams::toy();
+        let (pk, _sk) = mpca_crypto::lwe::keygen(&params, &mut prg);
+        let ct = pk.encrypt_bytes(&mut prg, b"x");
+        let msgs = vec![
+            MpcMsg::Filler(vec![0; 10]),
+            MpcMsg::PublicKey(vec![1, 2, 3]),
+            MpcMsg::InputCt(ct),
+            MpcMsg::CtChallenge(EqualityChallenge::new(&mut prg, 16, b"view")),
+            MpcMsg::CtResponse(EqualityResponse { equal: true }),
+            MpcMsg::Partial(PartialDecryption { values: vec![7, 8] }),
+            MpcMsg::Output(vec![42]),
+        ];
+        for msg in msgs {
+            let back: MpcMsg = mpca_wire::from_bytes(&mpca_wire::to_bytes(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+}

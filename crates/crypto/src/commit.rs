@@ -1,0 +1,148 @@
+//! Hash-based commitments.
+//!
+//! Committee members commit to transcript digests before revealing them; the
+//! commitment is the standard `H(randomness ‖ message)` construction, hiding
+//! under the random-oracle heuristic for SHA-256 and binding by collision
+//! resistance.
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::prg::Prg;
+use crate::sha256::sha256_parts;
+use crate::Digest;
+
+/// A binding, hiding commitment to a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Commitment {
+    digest: Digest,
+}
+
+/// The opening of a [`Commitment`]: the committed message and the randomness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opening {
+    /// The committed message.
+    pub message: Vec<u8>,
+    /// The 32-byte blinding randomness.
+    pub randomness: [u8; 32],
+}
+
+impl Commitment {
+    /// Commits to `message` using fresh randomness from `prg`.
+    pub fn commit(prg: &mut Prg, message: &[u8]) -> (Commitment, Opening) {
+        let mut randomness = [0u8; 32];
+        rand::RngCore::fill_bytes(prg, &mut randomness);
+        let commitment = Self::commit_with(message, &randomness);
+        (
+            commitment,
+            Opening {
+                message: message.to_vec(),
+                randomness,
+            },
+        )
+    }
+
+    /// Deterministically recomputes the commitment for a given opening.
+    pub fn commit_with(message: &[u8], randomness: &[u8; 32]) -> Commitment {
+        Commitment {
+            digest: sha256_parts(&[b"mpca-commit", randomness, message]),
+        }
+    }
+
+    /// Verifies that `opening` opens this commitment.
+    pub fn verify(&self, opening: &Opening) -> bool {
+        Self::commit_with(&opening.message, &opening.randomness) == *self
+    }
+
+    /// The raw digest.
+    pub fn as_bytes(&self) -> &Digest {
+        &self.digest
+    }
+}
+
+impl Encode for Commitment {
+    fn encode(&self, w: &mut Writer) {
+        self.digest.encode(w);
+    }
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl Decode for Commitment {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            digest: <[u8; 32]>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Opening {
+    fn encode(&self, w: &mut Writer) {
+        w.put_len_prefixed(&self.message);
+        self.randomness.encode(w);
+    }
+}
+
+impl Decode for Opening {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let message = r.get_len_prefixed()?.to_vec();
+        let randomness = <[u8; 32]>::decode(r)?;
+        Ok(Self {
+            message,
+            randomness,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_verify() {
+        let mut prg = Prg::from_seed_bytes(b"commit");
+        let (commitment, opening) = Commitment::commit(&mut prg, b"secret value");
+        assert!(commitment.verify(&opening));
+    }
+
+    #[test]
+    fn wrong_message_or_randomness_fails() {
+        let mut prg = Prg::from_seed_bytes(b"commit2");
+        let (commitment, opening) = Commitment::commit(&mut prg, b"secret value");
+        let mut bad_msg = opening.clone();
+        bad_msg.message = b"other value".to_vec();
+        assert!(!commitment.verify(&bad_msg));
+        let mut bad_rand = opening.clone();
+        bad_rand.randomness[0] ^= 1;
+        assert!(!commitment.verify(&bad_rand));
+    }
+
+    #[test]
+    fn commitments_hide_message_length_content() {
+        // Different messages with the same randomness give different digests
+        // (binding); same message with different randomness gives different
+        // digests (hiding relies on randomness).
+        let r1 = [1u8; 32];
+        let r2 = [2u8; 32];
+        assert_ne!(
+            Commitment::commit_with(b"a", &r1),
+            Commitment::commit_with(b"b", &r1)
+        );
+        assert_ne!(
+            Commitment::commit_with(b"a", &r1),
+            Commitment::commit_with(b"a", &r2)
+        );
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut prg = Prg::from_seed_bytes(b"commit3");
+        let (commitment, opening) = Commitment::commit(&mut prg, b"payload");
+        let c2: Commitment =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&commitment)).unwrap();
+        let o2: Opening = mpca_wire::from_bytes(&mpca_wire::to_bytes(&opening)).unwrap();
+        assert_eq!(c2, commitment);
+        assert_eq!(o2, opening);
+        assert!(c2.verify(&o2));
+    }
+}

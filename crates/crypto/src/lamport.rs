@@ -1,0 +1,203 @@
+//! Lamport one-time signatures over SHA-256.
+//!
+//! The multi-output protocol (Algorithm 4) needs an EUF-CMA signature scheme
+//! so that any single (possibly corrupted) committee member can be trusted to
+//! *relay* each party's signed output without being able to forge a modified
+//! one. Lamport signatures are the textbook hash-based construction and can
+//! be built with no dependencies; [`crate::merkle_sig`] lifts them to a
+//! many-time scheme.
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::hmac::ct_eq;
+use crate::prg::Prg;
+use crate::sha256::{sha256, sha256_parts};
+use crate::Digest;
+
+/// Number of message bits covered by one Lamport key (we sign SHA-256
+/// digests, so 256).
+pub const MESSAGE_BITS: usize = 256;
+
+/// A Lamport one-time secret/public key pair.
+#[derive(Debug, Clone)]
+pub struct LamportKeyPair {
+    /// 2×256 secret preimages.
+    secret: Vec<[u8; 32]>,
+    /// The corresponding public key.
+    public: LamportPublicKey,
+}
+
+/// A Lamport public key: the hash of each secret preimage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LamportPublicKey {
+    /// 2×256 hashes, laid out as `[bit0_value0, bit0_value1, bit1_value0, …]`.
+    hashes: Vec<Digest>,
+}
+
+/// A Lamport signature: one revealed preimage per message bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    preimages: Vec<[u8; 32]>,
+}
+
+impl LamportKeyPair {
+    /// Generates a key pair from the given randomness source.
+    pub fn generate(prg: &mut Prg) -> Self {
+        let mut secret = Vec::with_capacity(2 * MESSAGE_BITS);
+        for _ in 0..2 * MESSAGE_BITS {
+            let mut preimage = [0u8; 32];
+            rand::RngCore::fill_bytes(prg, &mut preimage);
+            secret.push(preimage);
+        }
+        let hashes = secret.iter().map(|p| sha256(p)).collect();
+        Self {
+            secret,
+            public: LamportPublicKey { hashes },
+        }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &LamportPublicKey {
+        &self.public
+    }
+
+    /// Signs an arbitrary message (the message is hashed first).
+    ///
+    /// A Lamport key must sign **at most one** message; signing two different
+    /// messages with the same key reveals enough preimages to forge. The
+    /// many-time wrapper in [`crate::merkle_sig`] enforces this.
+    pub fn sign(&self, message: &[u8]) -> LamportSignature {
+        let digest = sha256_parts(&[b"mpca-lamport", message]);
+        let mut preimages = Vec::with_capacity(MESSAGE_BITS);
+        for bit_index in 0..MESSAGE_BITS {
+            let bit = (digest[bit_index / 8] >> (bit_index % 8)) & 1;
+            preimages.push(self.secret[2 * bit_index + bit as usize]);
+        }
+        LamportSignature { preimages }
+    }
+}
+
+impl LamportPublicKey {
+    /// Verifies `signature` on `message`.
+    pub fn verify(&self, message: &[u8], signature: &LamportSignature) -> bool {
+        if signature.preimages.len() != MESSAGE_BITS || self.hashes.len() != 2 * MESSAGE_BITS {
+            return false;
+        }
+        let digest = sha256_parts(&[b"mpca-lamport", message]);
+        let mut ok = true;
+        for bit_index in 0..MESSAGE_BITS {
+            let bit = (digest[bit_index / 8] >> (bit_index % 8)) & 1;
+            let expected = &self.hashes[2 * bit_index + bit as usize];
+            let actual = sha256(&signature.preimages[bit_index]);
+            ok &= ct_eq(expected, &actual);
+        }
+        ok
+    }
+
+    /// A compact digest of the public key (used as a Merkle leaf).
+    pub fn digest(&self) -> Digest {
+        let mut hasher = crate::sha256::Sha256::new();
+        hasher.update(b"mpca-lamport-pk");
+        for h in &self.hashes {
+            hasher.update(h);
+        }
+        hasher.finalize()
+    }
+}
+
+impl Encode for LamportPublicKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.hashes.len() as u64);
+        for h in &self.hashes {
+            h.encode(w);
+        }
+    }
+}
+
+impl Decode for LamportPublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_uvarint()? as usize;
+        if len != 2 * MESSAGE_BITS {
+            return Err(WireError::Invalid("lamport public key length"));
+        }
+        let mut hashes = Vec::with_capacity(len);
+        for _ in 0..len {
+            hashes.push(<[u8; 32]>::decode(r)?);
+        }
+        Ok(Self { hashes })
+    }
+}
+
+impl Encode for LamportSignature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.preimages.len() as u64);
+        for p in &self.preimages {
+            p.encode(w);
+        }
+    }
+}
+
+impl Decode for LamportSignature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_uvarint()? as usize;
+        if len != MESSAGE_BITS {
+            return Err(WireError::Invalid("lamport signature length"));
+        }
+        let mut preimages = Vec::with_capacity(len);
+        for _ in 0..len {
+            preimages.push(<[u8; 32]>::decode(r)?);
+        }
+        Ok(Self { preimages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_and_verify() {
+        let mut prg = Prg::from_seed_bytes(b"lamport");
+        let keypair = LamportKeyPair::generate(&mut prg);
+        let signature = keypair.sign(b"output for party 3");
+        assert!(keypair.public_key().verify(b"output for party 3", &signature));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"lamport2");
+        let keypair = LamportKeyPair::generate(&mut prg);
+        let signature = keypair.sign(b"message A");
+        assert!(!keypair.public_key().verify(b"message B", &signature));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"lamport3");
+        let keypair = LamportKeyPair::generate(&mut prg);
+        let mut signature = keypair.sign(b"message");
+        signature.preimages[10][0] ^= 1;
+        assert!(!keypair.public_key().verify(b"message", &signature));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"lamport4");
+        let kp1 = LamportKeyPair::generate(&mut prg);
+        let kp2 = LamportKeyPair::generate(&mut prg);
+        let signature = kp1.sign(b"msg");
+        assert!(!kp2.public_key().verify(b"msg", &signature));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut prg = Prg::from_seed_bytes(b"lamport5");
+        let kp = LamportKeyPair::generate(&mut prg);
+        let sig = kp.sign(b"round trip");
+        let pk_back: LamportPublicKey =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(kp.public_key())).unwrap();
+        let sig_back: LamportSignature =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&sig)).unwrap();
+        assert!(pk_back.verify(b"round trip", &sig_back));
+    }
+}

@@ -1,0 +1,195 @@
+//! Merkle trees over SHA-256.
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::sha256::sha256_parts;
+use crate::Digest;
+
+/// A Merkle tree over a list of leaves.
+///
+/// Leaves are hashed with a leaf-specific domain separator before being
+/// combined, which prevents second-preimage confusion between leaves and
+/// internal nodes.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` are the hashed leaves, `levels.last()` is `[root]`.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An authentication path proving a leaf's membership under a root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes from leaf level to the root.
+    pub siblings: Vec<Digest>,
+}
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    sha256_parts(&[b"mpca-merkle-leaf", data])
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    sha256_parts(&[b"mpca-merkle-node", left, right])
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves` (arbitrary byte strings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty.
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        let mut level: Vec<Digest> = leaves.iter().map(|l| hash_leaf(l.as_ref())).collect();
+        let mut levels = vec![level.clone()];
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let combined = if pair.len() == 2 {
+                    hash_node(&pair[0], &pair[1])
+                } else {
+                    // Odd node is promoted by hashing with itself, keeping the
+                    // tree deterministic for any leaf count.
+                    hash_node(&pair[0], &pair[0])
+                };
+                next.push(combined);
+            }
+            levels.push(next.clone());
+            level = next;
+        }
+        Self { levels }
+    }
+
+    /// The Merkle root.
+    pub fn root(&self) -> Digest {
+        *self.levels.last().expect("non-empty")
+            .first()
+            .expect("root level has one node")
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces the authentication path for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = if sibling_idx < level.len() {
+                level[sibling_idx]
+            } else {
+                level[idx]
+            };
+            siblings.push(sibling);
+            idx /= 2;
+        }
+        MerkleProof { index, siblings }
+    }
+
+    /// Verifies that `leaf` is at `proof.index` under `root`.
+    pub fn verify(root: &Digest, leaf: &[u8], proof: &MerkleProof) -> bool {
+        let mut hash = hash_leaf(leaf);
+        let mut idx = proof.index;
+        for sibling in &proof.siblings {
+            hash = if idx % 2 == 0 {
+                hash_node(&hash, sibling)
+            } else {
+                hash_node(sibling, &hash)
+            };
+            idx /= 2;
+        }
+        &hash == root
+    }
+}
+
+impl Encode for MerkleProof {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.index as u64);
+        w.put_uvarint(self.siblings.len() as u64);
+        for s in &self.siblings {
+            s.encode(w);
+        }
+    }
+}
+
+impl Decode for MerkleProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let index = r.get_uvarint()? as usize;
+        let len = r.get_uvarint()? as usize;
+        if len > 64 {
+            return Err(WireError::Invalid("merkle proof too deep"));
+        }
+        let mut siblings = Vec::with_capacity(len);
+        for _ in 0..len {
+            siblings.push(<[u8; 32]>::decode(r)?);
+        }
+        Ok(Self { index, siblings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = MerkleTree::build(&[b"only"]);
+        assert_eq!(tree.leaf_count(), 1);
+        let proof = tree.prove(0);
+        assert!(MerkleTree::verify(&tree.root(), b"only", &proof));
+    }
+
+    #[test]
+    fn all_leaves_verify_various_sizes() {
+        for count in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
+            let leaves: Vec<Vec<u8>> = (0..count).map(|i| format!("leaf-{i}").into_bytes()).collect();
+            let tree = MerkleTree::build(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = tree.prove(i);
+                assert!(
+                    MerkleTree::verify(&tree.root(), leaf, &proof),
+                    "leaf {i} of {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_or_index_rejected() {
+        let leaves: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 10]).collect();
+        let tree = MerkleTree::build(&leaves);
+        let proof = tree.prove(3);
+        assert!(!MerkleTree::verify(&tree.root(), &leaves[4], &proof));
+        let mut wrong_index = proof.clone();
+        wrong_index.index = 4;
+        assert!(!MerkleTree::verify(&tree.root(), &leaves[3], &wrong_index));
+        let mut tampered = proof;
+        tampered.siblings[0][0] ^= 1;
+        assert!(!MerkleTree::verify(&tree.root(), &leaves[3], &tampered));
+    }
+
+    #[test]
+    fn roots_differ_when_leaves_differ() {
+        let tree1 = MerkleTree::build(&[b"a", b"b", b"c"]);
+        let tree2 = MerkleTree::build(&[b"a", b"b", b"d"]);
+        assert_ne!(tree1.root(), tree2.root());
+    }
+
+    #[test]
+    fn proof_wire_round_trip() {
+        let leaves: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8]).collect();
+        let tree = MerkleTree::build(&leaves);
+        let proof = tree.prove(2);
+        let back: MerkleProof = mpca_wire::from_bytes(&mpca_wire::to_bytes(&proof)).unwrap();
+        assert_eq!(back, proof);
+    }
+}

@@ -1,0 +1,231 @@
+//! A many-time hash-based signature scheme: a Merkle tree over Lamport
+//! one-time public keys (a simplified XMSS).
+//!
+//! This is the digital-signature scheme `DS = (Gen_sig, Sign, Vrfy)` required
+//! by the multi-output functionality of §4.3: the committee signs each
+//! party's encrypted output so that a single relay (even adversarial) cannot
+//! substitute it without detection.
+
+use std::cell::RefCell;
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::lamport::{LamportKeyPair, LamportPublicKey, LamportSignature};
+use crate::merkle::{MerkleProof, MerkleTree};
+use crate::prg::Prg;
+use crate::Digest;
+
+/// A many-time signing key supporting up to `capacity` signatures.
+#[derive(Debug)]
+pub struct MerkleSigKeyPair {
+    leaves: Vec<LamportKeyPair>,
+    tree: MerkleTree,
+    /// Index of the next unused one-time key.
+    next: RefCell<usize>,
+}
+
+/// The public verification key: the Merkle root plus the capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MerkleSigPublicKey {
+    /// Root of the tree of one-time public keys.
+    pub root: Digest,
+    /// Number of one-time keys under the root.
+    pub capacity: u32,
+}
+
+/// A signature: the one-time signature, the one-time public key, and the
+/// Merkle path authenticating that public key under the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleSignature {
+    /// Index of the one-time key used.
+    pub leaf_index: u32,
+    /// The one-time public key.
+    pub one_time_pk: LamportPublicKey,
+    /// The Lamport signature under that key.
+    pub one_time_sig: LamportSignature,
+    /// Path from the one-time public key to the root.
+    pub path: MerkleProof,
+}
+
+impl MerkleSigKeyPair {
+    /// Generates a key pair able to produce `capacity` signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn generate(prg: &mut Prg, capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        let leaves: Vec<LamportKeyPair> =
+            (0..capacity).map(|_| LamportKeyPair::generate(prg)).collect();
+        let leaf_digests: Vec<Digest> = leaves.iter().map(|kp| kp.public_key().digest()).collect();
+        let tree = MerkleTree::build(&leaf_digests);
+        Self {
+            leaves,
+            tree,
+            next: RefCell::new(0),
+        }
+    }
+
+    /// The verification key.
+    pub fn public_key(&self) -> MerkleSigPublicKey {
+        MerkleSigPublicKey {
+            root: self.tree.root(),
+            capacity: self.leaves.len() as u32,
+        }
+    }
+
+    /// Number of signatures still available.
+    pub fn remaining(&self) -> usize {
+        self.leaves.len() - *self.next.borrow()
+    }
+
+    /// Signs `message` with the next unused one-time key.
+    ///
+    /// Returns `None` when the key pair is exhausted.
+    pub fn sign(&self, message: &[u8]) -> Option<MerkleSignature> {
+        let mut next = self.next.borrow_mut();
+        if *next >= self.leaves.len() {
+            return None;
+        }
+        let index = *next;
+        *next += 1;
+        let keypair = &self.leaves[index];
+        Some(MerkleSignature {
+            leaf_index: index as u32,
+            one_time_pk: keypair.public_key().clone(),
+            one_time_sig: keypair.sign(message),
+            path: self.tree.prove(index),
+        })
+    }
+}
+
+impl MerkleSigPublicKey {
+    /// Verifies `signature` on `message`.
+    pub fn verify(&self, message: &[u8], signature: &MerkleSignature) -> bool {
+        if signature.leaf_index >= self.capacity {
+            return false;
+        }
+        if signature.path.index != signature.leaf_index as usize {
+            return false;
+        }
+        // 1. The one-time public key must live under our root.
+        let leaf_digest = signature.one_time_pk.digest();
+        if !MerkleTree::verify(&self.root, &leaf_digest, &signature.path) {
+            return false;
+        }
+        // 2. The one-time signature must verify under that key.
+        signature.one_time_pk.verify(message, &signature.one_time_sig)
+    }
+}
+
+impl Encode for MerkleSigPublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.root.encode(w);
+        w.put_u32(self.capacity);
+    }
+    fn encoded_len(&self) -> usize {
+        36
+    }
+}
+
+impl Decode for MerkleSigPublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            root: <[u8; 32]>::decode(r)?,
+            capacity: r.get_u32()?,
+        })
+    }
+}
+
+impl Encode for MerkleSignature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.leaf_index);
+        self.one_time_pk.encode(w);
+        self.one_time_sig.encode(w);
+        self.path.encode(w);
+    }
+}
+
+impl Decode for MerkleSignature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            leaf_index: r.get_u32()?,
+            one_time_pk: LamportPublicKey::decode(r)?,
+            one_time_sig: LamportSignature::decode(r)?,
+            path: MerkleProof::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_many_messages() {
+        let mut prg = Prg::from_seed_bytes(b"msig");
+        let keypair = MerkleSigKeyPair::generate(&mut prg, 8);
+        let pk = keypair.public_key();
+        for i in 0..8 {
+            let msg = format!("output {i}");
+            let sig = keypair.sign(msg.as_bytes()).expect("capacity left");
+            assert!(pk.verify(msg.as_bytes(), &sig), "message {i}");
+        }
+        assert!(keypair.sign(b"ninth").is_none(), "capacity exhausted");
+    }
+
+    #[test]
+    fn forged_message_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"msig2");
+        let keypair = MerkleSigKeyPair::generate(&mut prg, 2);
+        let pk = keypair.public_key();
+        let sig = keypair.sign(b"real output").unwrap();
+        assert!(!pk.verify(b"forged output", &sig));
+    }
+
+    #[test]
+    fn signature_under_different_key_rejected() {
+        let mut prg = Prg::from_seed_bytes(b"msig3");
+        let kp1 = MerkleSigKeyPair::generate(&mut prg, 2);
+        let kp2 = MerkleSigKeyPair::generate(&mut prg, 2);
+        let sig = kp1.sign(b"msg").unwrap();
+        assert!(!kp2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn substituted_one_time_key_rejected() {
+        // An attacker replacing the embedded one-time public key (to verify a
+        // forged signature) must be caught by the Merkle path check.
+        let mut prg = Prg::from_seed_bytes(b"msig4");
+        let keypair = MerkleSigKeyPair::generate(&mut prg, 2);
+        let pk = keypair.public_key();
+        let attacker_kp = LamportKeyPair::generate(&mut prg);
+        let mut sig = keypair.sign(b"original").unwrap();
+        sig.one_time_pk = attacker_kp.public_key().clone();
+        sig.one_time_sig = attacker_kp.sign(b"forged");
+        assert!(!pk.verify(b"forged", &sig));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut prg = Prg::from_seed_bytes(b"msig5");
+        let keypair = MerkleSigKeyPair::generate(&mut prg, 4);
+        let pk = keypair.public_key();
+        let sig = keypair.sign(b"wire").unwrap();
+        let pk_back: MerkleSigPublicKey =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&pk)).unwrap();
+        let sig_back: MerkleSignature =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&sig)).unwrap();
+        assert_eq!(pk_back, pk);
+        assert!(pk_back.verify(b"wire", &sig_back));
+    }
+
+    #[test]
+    fn remaining_decrements() {
+        let mut prg = Prg::from_seed_bytes(b"msig6");
+        let keypair = MerkleSigKeyPair::generate(&mut prg, 3);
+        assert_eq!(keypair.remaining(), 3);
+        keypair.sign(b"a").unwrap();
+        assert_eq!(keypair.remaining(), 2);
+    }
+}

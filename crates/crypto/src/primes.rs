@@ -1,0 +1,174 @@
+//! Primality testing and random prime sampling.
+//!
+//! The succinct equality test of Lemma 5 samples a uniformly random prime
+//! `p ∈ [n^λ]` and compares the two strings modulo `p`. This module provides
+//! the deterministic Miller–Rabin test (exact for 64-bit integers) and the
+//! random prime sampler used by [`crate::fingerprint`].
+
+use crate::prg::Prg;
+
+/// Multiplies two `u64` values modulo `m` without overflow.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m`.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mul_mod(result, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// Uses the standard witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`
+/// which is known to be sufficient for all integers below `3.3 × 10^24`.
+///
+/// ```
+/// assert!(mpca_crypto::primes::is_prime(2));
+/// assert!(mpca_crypto::primes::is_prime(1_000_000_007));
+/// assert!(!mpca_crypto::primes::is_prime(1_000_000_007u64 * 3));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^r with d odd.
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Samples a uniformly random prime in `[lo, hi)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if the interval is empty or contains no prime (the caller controls
+/// the interval; the intervals used by Lemma 5 always contain plenty of
+/// primes by Bertrand's postulate).
+pub fn random_prime_in_range(prg: &mut Prg, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    // Expected number of iterations is O(ln hi); bound the loop generously so
+    // that a degenerate interval fails loudly instead of spinning forever.
+    let width = hi - lo;
+    let max_iters = 64 * (64 - width.leading_zeros() as u64 + 2) * 20 + 10_000;
+    for _ in 0..max_iters {
+        let candidate = lo + prg.gen_range(width);
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+    panic!("no prime found in [{lo}, {hi}) after {max_iters} samples");
+}
+
+/// Samples a random prime with exactly `bits` bits (MSB set).
+///
+/// # Panics
+///
+/// Panics if `bits < 3` or `bits > 63`.
+pub fn random_prime_with_bits(prg: &mut Prg, bits: u32) -> u64 {
+    assert!((3..=63).contains(&bits), "bits must be in [3, 63]");
+    random_prime_in_range(prg, 1u64 << (bits - 1), 1u64 << bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 97, 101];
+        let composites = [0u64, 1, 4, 6, 8, 9, 10, 15, 21, 25, 49, 91, 100];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn known_large_primes_and_composites() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(1_000_000_009));
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime 2^61 - 1
+        assert!(!is_prime((1u64 << 61) - 3));
+        // Carmichael numbers must be rejected.
+        for carmichael in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(carmichael), "{carmichael} is a Carmichael number");
+        }
+        // Strong pseudoprime to base 2.
+        assert!(!is_prime(3_215_031_751));
+    }
+
+    #[test]
+    fn pow_mod_agrees_with_naive() {
+        for (b, e, m) in [(3u64, 10u64, 1007u64), (7, 0, 13), (2, 62, 997), (10, 9, 1)] {
+            let mut naive = 1u64 % m.max(1);
+            for _ in 0..e {
+                naive = mul_mod(naive, b % m.max(1), m.max(1));
+            }
+            if m == 1 {
+                assert_eq!(pow_mod(b, e, m), 0);
+            } else {
+                assert_eq!(pow_mod(b, e, m), naive, "{b}^{e} mod {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_primes_are_prime_and_in_range() {
+        let mut prg = Prg::from_seed_bytes(b"primes");
+        for _ in 0..20 {
+            let p = random_prime_in_range(&mut prg, 1 << 20, 1 << 21);
+            assert!(p >= 1 << 20 && p < 1 << 21);
+            assert!(is_prime(p));
+        }
+        let p = random_prime_with_bits(&mut prg, 40);
+        assert!(p >= 1 << 39 && p < 1 << 40);
+        assert!(is_prime(p));
+    }
+
+    #[test]
+    fn prime_density_sanity() {
+        // Count primes below 10_000 — π(10^4) = 1229.
+        let count = (0u64..10_000).filter(|&n| is_prime(n)).count();
+        assert_eq!(count, 1229);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simple k-out-of-k secret sharing.
+//!
+//! The committee-based protocols secret-share the LWE secret key and the
+//! functionality randomness `r = ⊕ r_i` among all committee members, so that
+//! a single honest member suffices to keep the secret hidden (the paper's
+//! "k-out-of-k" requirement in §2.2).
+
+use crate::prg::Prg;
+
+/// XOR-based k-out-of-k sharing of a byte string.
+///
+/// ```
+/// use mpca_crypto::secret_sharing::{xor_share, xor_reconstruct};
+/// use mpca_crypto::Prg;
+///
+/// let mut prg = Prg::from_seed_bytes(b"doc");
+/// let shares = xor_share(&mut prg, b"secret", 4);
+/// assert_eq!(xor_reconstruct(&shares), b"secret");
+/// ```
+pub fn xor_share(prg: &mut Prg, secret: &[u8], parties: usize) -> Vec<Vec<u8>> {
+    assert!(parties >= 1, "need at least one share");
+    let mut shares = Vec::with_capacity(parties);
+    let mut running = secret.to_vec();
+    for _ in 0..parties - 1 {
+        let share = prg.gen_bytes(secret.len());
+        for (r, s) in running.iter_mut().zip(share.iter()) {
+            *r ^= s;
+        }
+        shares.push(share);
+    }
+    shares.push(running);
+    shares
+}
+
+/// Reconstructs an XOR-shared secret from all shares.
+///
+/// # Panics
+///
+/// Panics if the shares have inconsistent lengths or if no shares are given.
+pub fn xor_reconstruct(shares: &[Vec<u8>]) -> Vec<u8> {
+    assert!(!shares.is_empty(), "need at least one share");
+    let len = shares[0].len();
+    let mut out = vec![0u8; len];
+    for share in shares {
+        assert_eq!(share.len(), len, "inconsistent share length");
+        for (o, s) in out.iter_mut().zip(share.iter()) {
+            *o ^= s;
+        }
+    }
+    out
+}
+
+/// Additive k-out-of-k sharing of a vector of integers modulo `modulus`.
+///
+/// Used for sharing LWE secret keys, whose coefficients live in `Z_q`.
+pub fn additive_share(
+    prg: &mut Prg,
+    secret: &[u64],
+    parties: usize,
+    modulus: u64,
+) -> Vec<Vec<u64>> {
+    assert!(parties >= 1, "need at least one share");
+    assert!(modulus >= 2, "modulus must be at least 2");
+    let mut shares = Vec::with_capacity(parties);
+    let mut running: Vec<u64> = secret.iter().map(|&x| x % modulus).collect();
+    for _ in 0..parties - 1 {
+        let share: Vec<u64> = (0..secret.len()).map(|_| prg.gen_range(modulus)).collect();
+        for (r, s) in running.iter_mut().zip(share.iter()) {
+            // r = r - s (mod modulus)
+            *r = (*r + modulus - *s) % modulus;
+        }
+        shares.push(share);
+    }
+    shares.push(running);
+    shares
+}
+
+/// Reconstructs an additively shared vector modulo `modulus`.
+///
+/// # Panics
+///
+/// Panics if the shares have inconsistent lengths or if no shares are given.
+pub fn additive_reconstruct(shares: &[Vec<u64>], modulus: u64) -> Vec<u64> {
+    assert!(!shares.is_empty(), "need at least one share");
+    let len = shares[0].len();
+    let mut out = vec![0u64; len];
+    for share in shares {
+        assert_eq!(share.len(), len, "inconsistent share length");
+        for (o, s) in out.iter_mut().zip(share.iter()) {
+            *o = ((*o as u128 + *s as u128) % modulus as u128) as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_round_trip_various_party_counts() {
+        let mut prg = Prg::from_seed_bytes(b"xor");
+        let secret = prg.gen_bytes(100);
+        for parties in [1, 2, 3, 10, 64] {
+            let shares = xor_share(&mut prg, &secret, parties);
+            assert_eq!(shares.len(), parties);
+            assert_eq!(xor_reconstruct(&shares), secret);
+        }
+    }
+
+    #[test]
+    fn xor_missing_share_reveals_nothing_useful() {
+        let mut prg = Prg::from_seed_bytes(b"xor-hide");
+        let secret = vec![0xAB; 64];
+        let shares = xor_share(&mut prg, &secret, 5);
+        // Reconstructing from any 4 of the 5 shares should (overwhelmingly)
+        // not yield the secret.
+        for drop in 0..5 {
+            let partial: Vec<Vec<u8>> = shares
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, s)| s.clone())
+                .collect();
+            assert_ne!(xor_reconstruct(&partial), secret);
+        }
+    }
+
+    #[test]
+    fn additive_round_trip() {
+        let mut prg = Prg::from_seed_bytes(b"add");
+        let modulus = (1u64 << 32) - 5;
+        let secret: Vec<u64> = (0..50).map(|_| prg.gen_range(modulus)).collect();
+        for parties in [1, 2, 7, 33] {
+            let shares = additive_share(&mut prg, &secret, parties, modulus);
+            assert_eq!(additive_reconstruct(&shares, modulus), secret);
+        }
+    }
+
+    #[test]
+    fn additive_shares_are_reduced() {
+        let mut prg = Prg::from_seed_bytes(b"add-reduced");
+        let modulus = 97;
+        let secret = vec![1000u64, 5, 96];
+        let shares = additive_share(&mut prg, &secret, 3, modulus);
+        for share in &shares {
+            assert!(share.iter().all(|&x| x < modulus));
+        }
+        assert_eq!(
+            additive_reconstruct(&shares, modulus),
+            vec![1000 % 97, 5, 96]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent share length")]
+    fn inconsistent_lengths_panic() {
+        let shares = vec![vec![1u8, 2], vec![3u8]];
+        let _ = xor_reconstruct(&shares);
+    }
+}

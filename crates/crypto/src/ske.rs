@@ -1,0 +1,178 @@
+//! Authenticated symmetric encryption (encrypt-then-MAC with ChaCha20 and
+//! HMAC-SHA-256).
+//!
+//! In the multi-output protocol (Algorithm 4) every party samples a symmetric
+//! key `k_i`, sends it to the committee encrypted under the committee's LWE
+//! public key, and later receives its own output encrypted under `k_i` — so
+//! that no other party (and no single committee member) learns the output.
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::chacha20::ChaCha20;
+use crate::hmac::{ct_eq, hmac_sha256};
+use crate::prg::Prg;
+use crate::sha256::sha256_parts;
+
+/// A 256-bit symmetric key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymmetricKey {
+    bytes: [u8; 32],
+}
+
+/// An authenticated ciphertext: nonce ‖ body ‖ tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkeCiphertext {
+    /// Nonce used for the ChaCha20 stream.
+    pub nonce: [u8; 12],
+    /// Encrypted payload.
+    pub body: Vec<u8>,
+    /// HMAC-SHA-256 over nonce ‖ body.
+    pub tag: [u8; 32],
+}
+
+impl SymmetricKey {
+    /// Samples a fresh random key.
+    pub fn generate(prg: &mut Prg) -> Self {
+        let mut bytes = [0u8; 32];
+        rand::RngCore::fill_bytes(prg, &mut bytes);
+        Self { bytes }
+    }
+
+    /// Builds a key from raw bytes (e.g. decrypted from an LWE ciphertext).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self { bytes }
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+
+    fn enc_key(&self) -> [u8; 32] {
+        sha256_parts(&[b"mpca-ske-enc", &self.bytes])
+    }
+
+    fn mac_key(&self) -> [u8; 32] {
+        sha256_parts(&[b"mpca-ske-mac", &self.bytes])
+    }
+
+    /// Encrypts `plaintext` with a nonce drawn from `prg`.
+    pub fn encrypt(&self, prg: &mut Prg, plaintext: &[u8]) -> SkeCiphertext {
+        let mut nonce = [0u8; 12];
+        rand::RngCore::fill_bytes(prg, &mut nonce);
+        let mut body = plaintext.to_vec();
+        ChaCha20::new(&self.enc_key(), &nonce, 1).apply_keystream(&mut body);
+        let tag = hmac_sha256(&self.mac_key(), &[&nonce[..], &body[..]].concat());
+        SkeCiphertext { nonce, body, tag }
+    }
+
+    /// Decrypts and authenticates a ciphertext.
+    ///
+    /// Returns `None` if the MAC does not verify.
+    pub fn decrypt(&self, ciphertext: &SkeCiphertext) -> Option<Vec<u8>> {
+        let expected = hmac_sha256(
+            &self.mac_key(),
+            &[&ciphertext.nonce[..], &ciphertext.body[..]].concat(),
+        );
+        if !ct_eq(&expected, &ciphertext.tag) {
+            return None;
+        }
+        let mut plaintext = ciphertext.body.clone();
+        ChaCha20::new(&self.enc_key(), &ciphertext.nonce, 1).apply_keystream(&mut plaintext);
+        Some(plaintext)
+    }
+}
+
+impl Encode for SymmetricKey {
+    fn encode(&self, w: &mut Writer) {
+        self.bytes.encode(w);
+    }
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl Decode for SymmetricKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            bytes: <[u8; 32]>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SkeCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        self.nonce.encode(w);
+        w.put_len_prefixed(&self.body);
+        self.tag.encode(w);
+    }
+}
+
+impl Decode for SkeCiphertext {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let nonce = <[u8; 12]>::decode(r)?;
+        let body = r.get_len_prefixed()?.to_vec();
+        let tag = <[u8; 32]>::decode(r)?;
+        Ok(Self { nonce, body, tag })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut prg = Prg::from_seed_bytes(b"ske");
+        let key = SymmetricKey::generate(&mut prg);
+        let plaintext = prg.gen_bytes(500);
+        let ct = key.encrypt(&mut prg, &plaintext);
+        assert_eq!(key.decrypt(&ct), Some(plaintext));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut prg = Prg::from_seed_bytes(b"ske-tamper");
+        let key = SymmetricKey::generate(&mut prg);
+        let ct = key.encrypt(&mut prg, b"the output is 42");
+        let mut tampered_body = ct.clone();
+        tampered_body.body[0] ^= 1;
+        assert_eq!(key.decrypt(&tampered_body), None);
+        let mut tampered_tag = ct.clone();
+        tampered_tag.tag[5] ^= 1;
+        assert_eq!(key.decrypt(&tampered_tag), None);
+        let mut tampered_nonce = ct;
+        tampered_nonce.nonce[3] ^= 1;
+        assert_eq!(key.decrypt(&tampered_nonce), None);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut prg = Prg::from_seed_bytes(b"ske-wrong");
+        let key1 = SymmetricKey::generate(&mut prg);
+        let key2 = SymmetricKey::generate(&mut prg);
+        let ct = key1.encrypt(&mut prg, b"data");
+        assert_eq!(key2.decrypt(&ct), None);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_round_trips_wire() {
+        let mut prg = Prg::from_seed_bytes(b"ske-wire");
+        let key = SymmetricKey::generate(&mut prg);
+        let ct = key.encrypt(&mut prg, b"hello");
+        assert_ne!(ct.body, b"hello");
+        let back: SkeCiphertext = mpca_wire::from_bytes(&mpca_wire::to_bytes(&ct)).unwrap();
+        assert_eq!(back, ct);
+        let key_back: SymmetricKey =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&key)).unwrap();
+        assert_eq!(key_back, key);
+    }
+
+    #[test]
+    fn empty_plaintext_supported() {
+        let mut prg = Prg::from_seed_bytes(b"ske-empty");
+        let key = SymmetricKey::generate(&mut prg);
+        let ct = key.encrypt(&mut prg, b"");
+        assert_eq!(key.decrypt(&ct), Some(Vec::new()));
+    }
+}

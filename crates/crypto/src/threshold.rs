@@ -1,0 +1,302 @@
+//! k-out-of-k threshold decryption for the LWE scheme.
+//!
+//! The committee holds the LWE secret key additively shared
+//! (`s = Σ_j s_j mod q`); decryption of `(c₁, c₂)` is linear in `s`, so each
+//! member publishes a *partial decryption* `p_j = ⟨c₁, s_j⟩ + smudge_j` and
+//! anyone holding all partials recovers
+//! `m = round((c₂ − Σ_j p_j)/Δ)`. As long as a single committee member is
+//! honest (the paper's hitting-set guarantee), the adversary is missing at
+//! least one share and learns nothing about `s` — this is the "so long as
+//! there is at least one honest party in the committee" argument of §2.2.
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::lwe::{round_to_plaintext, LweCiphertext, LweParams, LweSecretKey};
+use crate::prg::Prg;
+use crate::secret_sharing::{additive_reconstruct, additive_share};
+
+/// The shares of an LWE secret key, one per committee member.
+#[derive(Debug, Clone)]
+pub struct ThresholdKeyShares {
+    /// Parameters of the underlying scheme.
+    pub params: LweParams,
+    /// `shares[j]` is member `j`'s additive share of `s`.
+    pub shares: Vec<Vec<u64>>,
+}
+
+/// A single member's share, used to produce partial decryptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdDecryptor {
+    /// Parameters of the underlying scheme.
+    pub params: LweParams,
+    /// This member's additive share of the secret key.
+    pub share: Vec<u64>,
+}
+
+/// A partial decryption of (all chunks of) one ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialDecryption {
+    /// One masked inner product per ciphertext chunk.
+    pub values: Vec<u64>,
+}
+
+impl ThresholdKeyShares {
+    /// Splits `sk` into `members` additive shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0`.
+    pub fn split(prg: &mut Prg, sk: &LweSecretKey, members: usize) -> Self {
+        assert!(members >= 1, "need at least one member");
+        let shares = additive_share(prg, &sk.s, members, sk.params.modulus);
+        Self {
+            params: sk.params,
+            shares,
+        }
+    }
+
+    /// Returns member `j`'s decryptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn decryptor(&self, j: usize) -> ThresholdDecryptor {
+        ThresholdDecryptor {
+            params: self.params,
+            share: self.shares[j].clone(),
+        }
+    }
+
+    /// Number of members the key is shared among.
+    pub fn member_count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Reconstructs the full secret key (test/ideal-functionality use only).
+    pub fn reconstruct(&self) -> LweSecretKey {
+        LweSecretKey {
+            params: self.params,
+            s: additive_reconstruct(&self.shares, self.params.modulus),
+        }
+    }
+}
+
+impl ThresholdDecryptor {
+    /// Produces this member's partial decryption of `ciphertext`.
+    ///
+    /// A small "smudging" noise is added to each partial so that the set of
+    /// partials reveals nothing beyond the plaintext.
+    pub fn partial_decrypt(&self, prg: &mut Prg, ciphertext: &LweCiphertext) -> PartialDecryption {
+        let params = &self.params;
+        let mask = params.modulus - 1;
+        let values = ciphertext
+            .chunks
+            .iter()
+            .map(|(c1, _c2)| {
+                let mut inner: u128 = 0;
+                for (ci, si) in c1.iter().zip(self.share.iter()) {
+                    inner = inner.wrapping_add(*ci as u128 * *si as u128);
+                    inner &= (params.modulus as u128 * params.modulus as u128) - 1;
+                }
+                let inner = (inner & mask as u128) as u64;
+                // Smudging noise in [-B, B].
+                let width = 2 * params.noise_bound + 1;
+                let v = prg.gen_range(width);
+                let noise = if v <= params.noise_bound {
+                    v
+                } else {
+                    params.modulus - (v - params.noise_bound)
+                };
+                ((inner as u128 + noise as u128) & mask as u128) as u64
+            })
+            .collect();
+        PartialDecryption { values }
+    }
+}
+
+/// Combines all members' partial decryptions into the plaintext chunks.
+///
+/// # Errors
+///
+/// Returns `None` when the partials have inconsistent shapes.
+pub fn combine_partials(
+    params: &LweParams,
+    ciphertext: &LweCiphertext,
+    partials: &[PartialDecryption],
+) -> Option<Vec<u64>> {
+    if partials.is_empty() {
+        return None;
+    }
+    let chunk_count = ciphertext.chunks.len();
+    if partials.iter().any(|p| p.values.len() != chunk_count) {
+        return None;
+    }
+    let mask = params.modulus - 1;
+    let mut out = Vec::with_capacity(chunk_count);
+    for (idx, (_c1, c2)) in ciphertext.chunks.iter().enumerate() {
+        let mut sum: u128 = 0;
+        for partial in partials {
+            sum += partial.values[idx] as u128;
+            sum &= mask as u128 | ((params.modulus as u128) * (partials.len() as u128 + 1));
+        }
+        let sum = (sum % params.modulus as u128) as u64;
+        let diff = ((*c2 as u128 + (params.modulus - sum) as u128) & mask as u128) as u64;
+        out.push(round_to_plaintext(params, diff));
+    }
+    Some(out)
+}
+
+/// Combines partial decryptions and reassembles the framed byte string
+/// produced by [`crate::lwe::LwePublicKey::encrypt_bytes`].
+pub fn combine_partials_to_bytes(
+    params: &LweParams,
+    ciphertext: &LweCiphertext,
+    partials: &[PartialDecryption],
+) -> Option<Vec<u8>> {
+    let chunks = combine_partials(params, ciphertext, partials)?;
+    let per = params.bytes_per_chunk();
+    let mut bytes = Vec::with_capacity(chunks.len() * per);
+    for value in chunks {
+        for i in 0..per {
+            bytes.push(((value >> (8 * i)) & 0xFF) as u8);
+        }
+    }
+    if bytes.len() < 8 {
+        return None;
+    }
+    let declared = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    if declared > bytes.len() - 8 {
+        return None;
+    }
+    Some(bytes[8..8 + declared].to_vec())
+}
+
+impl Encode for PartialDecryption {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.values.len() as u64);
+        for v in &self.values {
+            w.put_u64(*v);
+        }
+    }
+}
+
+impl Decode for PartialDecryption {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_uvarint()? as usize;
+        if len > 1 << 20 {
+            return Err(WireError::Invalid("partial decryption too long"));
+        }
+        let mut values = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            values.push(r.get_u64()?);
+        }
+        Ok(Self { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lwe::keygen;
+
+    fn setup(members: usize) -> (LweParams, crate::lwe::LwePublicKey, ThresholdKeyShares, Prg) {
+        let params = LweParams::default_params();
+        let mut prg = Prg::from_seed_bytes(b"threshold");
+        let (pk, sk) = keygen(&params, &mut prg);
+        let shares = ThresholdKeyShares::split(&mut prg, &sk, members);
+        (params, pk, shares, prg)
+    }
+
+    #[test]
+    fn shares_reconstruct_key() {
+        let params = LweParams::toy();
+        let mut prg = Prg::from_seed_bytes(b"threshold-recon");
+        let (_pk, sk) = keygen(&params, &mut prg);
+        let shares = ThresholdKeyShares::split(&mut prg, &sk, 7);
+        assert_eq!(shares.member_count(), 7);
+        assert_eq!(shares.reconstruct(), sk);
+    }
+
+    #[test]
+    fn all_partials_decrypt_correctly() {
+        let (params, pk, shares, mut prg) = setup(5);
+        let message = b"threshold decryption works".to_vec();
+        let ct = pk.encrypt_bytes(&mut prg, &message);
+        let partials: Vec<PartialDecryption> = (0..5)
+            .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &ct))
+            .collect();
+        let recovered = combine_partials_to_bytes(&params, &ct, &partials);
+        assert_eq!(recovered, Some(message));
+    }
+
+    #[test]
+    fn missing_partial_fails_to_decrypt() {
+        let (params, pk, shares, mut prg) = setup(4);
+        let message = b"secret".to_vec();
+        let ct = pk.encrypt_bytes(&mut prg, &message);
+        let partials: Vec<PartialDecryption> = (0..3) // one member withholds
+            .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &ct))
+            .collect();
+        let recovered = combine_partials_to_bytes(&params, &ct, &partials);
+        assert_ne!(recovered, Some(message));
+    }
+
+    #[test]
+    fn single_member_threshold_equals_plain_decryption() {
+        let (params, pk, shares, mut prg) = setup(1);
+        let message = b"single member".to_vec();
+        let ct = pk.encrypt_bytes(&mut prg, &message);
+        let partial = shares.decryptor(0).partial_decrypt(&mut prg, &ct);
+        assert_eq!(
+            combine_partials_to_bytes(&params, &ct, &[partial]),
+            Some(message)
+        );
+    }
+
+    #[test]
+    fn partials_round_trip_on_wire() {
+        let (_params, pk, shares, mut prg) = setup(3);
+        let ct = pk.encrypt_bytes(&mut prg, b"x");
+        let partial = shares.decryptor(1).partial_decrypt(&mut prg, &ct);
+        let back: PartialDecryption =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&partial)).unwrap();
+        assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn inconsistent_partial_shapes_rejected() {
+        let (params, pk, shares, mut prg) = setup(2);
+        let ct = pk.encrypt_bytes(&mut prg, b"hello world");
+        let p0 = shares.decryptor(0).partial_decrypt(&mut prg, &ct);
+        let bad = PartialDecryption { values: vec![1, 2] };
+        assert_eq!(combine_partials(&params, &ct, &[p0, bad]), None);
+        assert_eq!(combine_partials(&params, &ct, &[]), None);
+    }
+
+    #[test]
+    fn homomorphic_sum_then_threshold_decrypt() {
+        // The concrete committee path: parties' values are encrypted, the
+        // committee homomorphically sums them and threshold-decrypts the sum.
+        let params = LweParams::default_params();
+        let mut prg = Prg::from_seed_bytes(b"threshold-sum");
+        let (pk, sk) = keygen(&params, &mut prg);
+        let shares = ThresholdKeyShares::split(&mut prg, &sk, 6);
+        let values = [5u64, 11, 0, 255, 1000, 37, 2, 90];
+        let mut acc: Option<LweCiphertext> = None;
+        for &v in &values {
+            let ct = LweCiphertext {
+                chunks: vec![pk.encrypt_chunk(&mut prg, v)],
+            };
+            match &mut acc {
+                None => acc = Some(ct),
+                Some(a) => a.add_assign(&ct, &params),
+            }
+        }
+        let acc = acc.unwrap();
+        let partials: Vec<PartialDecryption> = (0..6)
+            .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &acc))
+            .collect();
+        let chunks = combine_partials(&params, &acc, &partials).unwrap();
+        assert_eq!(chunks[0], values.iter().sum::<u64>() % params.plaintext_modulus);
+    }
+}

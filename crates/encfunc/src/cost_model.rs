@@ -1,0 +1,134 @@
+//! The Theorem 9 cost model.
+//!
+//! Theorem 9 (and Remark 8) state that, assuming LWE, a (possibly
+//! interactive) functionality `F = (F₁, F₂)` with maximum input length
+//! `ℓ_in`, circuit depth `D` and total output length `ℓ_out` can be securely
+//! computed with:
+//!
+//! * **one** invocation of Simultaneous Broadcast on inputs of size
+//!   `poly(λ, D, ℓ_in)` — each party broadcasts its public key, one
+//!   ciphertext per input bit, and a NIZK of well-formedness; and
+//! * an additional `ℓ_out · n · poly(λ, D)` bits of point-to-point
+//!   communication — one partial decryption plus NIZK per output bit per
+//!   party.
+//!
+//! The paper leaves the polynomial unspecified (any fixed polynomial gives
+//! the stated asymptotics); this module pins a concrete, documented
+//! polynomial so that experiment results are reproducible numbers rather
+//! than symbols. The default polynomial is linear in `λ` and `D + 1`:
+//! message sizes scale as `λ·(D+1)` machine words, which is the shape of
+//! lattice dimension growth used in the proof sketch of Theorem 9.
+
+/// Concrete instantiation of the `poly(λ, D)` factors in Theorem 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Theorem9CostModel {
+    /// Security parameter λ.
+    pub lambda: u32,
+    /// Circuit depth D of the functionality.
+    pub depth: u32,
+}
+
+impl Theorem9CostModel {
+    /// Creates a cost model for the given security parameter and depth.
+    pub fn new(lambda: u32, depth: u32) -> Self {
+        Self { lambda, depth }
+    }
+
+    /// The "lattice dimension" proxy: `λ · (D + 1)` words.
+    fn dimension_words(&self) -> u64 {
+        u64::from(self.lambda) * (u64::from(self.depth) + 1)
+    }
+
+    /// Bytes of a public key / ciphertext / NIZK bundle for an `ℓ_in`-byte
+    /// input: `poly(λ, D, ℓ_in)` — the first-round broadcast payload of
+    /// Theorem 9, per party.
+    pub fn broadcast_payload_bytes(&self, input_bytes: usize) -> usize {
+        let words = self.dimension_words() as usize;
+        // public key + (one ciphertext per input bit) + NIZK
+        let pk = 8 * words;
+        let cts = input_bytes.max(1) * 8 * words / 8; // one word per input bit
+        let nizk = 4 * words;
+        pk + cts + nizk
+    }
+
+    /// Bytes of a partial decryption + NIZK for a single output bit
+    /// (point-to-point, per sender): `poly(λ, D)`.
+    pub fn partial_decryption_bytes(&self) -> usize {
+        let words = self.dimension_words() as usize;
+        // one field element per lattice coordinate + NIZK
+        8 + 4 * words
+    }
+
+    /// Bytes of an encrypted input of `input_bytes` bytes under the scheme
+    /// (what each network party sends to each committee member in
+    /// Algorithm 3 step 4 when the hybrid path is used).
+    pub fn encrypted_input_bytes(&self, input_bytes: usize) -> usize {
+        let words = self.dimension_words() as usize;
+        input_bytes.max(1) * 8 * words / 8 + 16
+    }
+
+    /// Total point-to-point bytes to deliver `output_bytes` of output to
+    /// each of `recipients` parties, per Theorem 9's `ℓ_out · n · poly(λ, D)`
+    /// term, evaluated over a committee of `committee` members.
+    pub fn output_phase_bytes(
+        &self,
+        output_bytes: usize,
+        recipients: usize,
+        committee: usize,
+    ) -> usize {
+        output_bytes.max(1) * 8 * recipients.max(1) * committee.max(1)
+            * self.partial_decryption_bytes()
+            / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_grow_with_lambda_and_depth() {
+        let small = Theorem9CostModel::new(8, 1);
+        let big_lambda = Theorem9CostModel::new(32, 1);
+        let big_depth = Theorem9CostModel::new(8, 16);
+        assert!(small.broadcast_payload_bytes(4) < big_lambda.broadcast_payload_bytes(4));
+        assert!(small.broadcast_payload_bytes(4) < big_depth.broadcast_payload_bytes(4));
+        assert!(small.partial_decryption_bytes() < big_lambda.partial_decryption_bytes());
+    }
+
+    #[test]
+    fn sizes_grow_with_input_and_output_lengths() {
+        let model = Theorem9CostModel::new(16, 2);
+        assert!(model.broadcast_payload_bytes(1) < model.broadcast_payload_bytes(100));
+        assert!(model.encrypted_input_bytes(1) < model.encrypted_input_bytes(64));
+        assert!(
+            model.output_phase_bytes(1, 10, 5) < model.output_phase_bytes(8, 10, 5),
+            "more output bytes cost more"
+        );
+        assert!(
+            model.output_phase_bytes(1, 10, 5) < model.output_phase_bytes(1, 100, 5),
+            "more recipients cost more"
+        );
+    }
+
+    #[test]
+    fn sizes_do_not_depend_on_total_party_count_directly() {
+        // Theorem 9's first-round payload depends only on λ, D and ℓ_in —
+        // the protocol-level n-dependence comes from how many of these
+        // payloads the protocols exchange, not from the payload size.
+        let model = Theorem9CostModel::new(16, 2);
+        let a = model.broadcast_payload_bytes(4);
+        let b = model.broadcast_payload_bytes(4);
+        assert_eq!(a, b);
+        assert!(a > 0);
+        assert!(model.partial_decryption_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_edge_cases_are_clamped() {
+        let model = Theorem9CostModel::new(16, 0);
+        assert!(model.broadcast_payload_bytes(0) > 0);
+        assert!(model.encrypted_input_bytes(0) > 0);
+        assert!(model.output_phase_bytes(0, 0, 0) > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Concrete one-round distributed key generation for the threshold-LWE path.
+//!
+//! The public matrix `A` is derived from the common random string (allowed
+//! setup). Each committee member `j` samples a secret `s_j` and small noise
+//! `e_j` and publishes `b_j = A·s_j + e_j`; the committee public key is
+//! `(A, b = Σ_j b_j)`, whose implicit secret key is `s = Σ_j s_j` — already
+//! additively shared across the committee, exactly what the k-out-of-k
+//! threshold decryption of [`mpca_crypto::threshold`] needs. As long as a
+//! single member is honest, `s` has a uniformly random unknown component and
+//! the adversary learns nothing about the honest parties' inputs, mirroring
+//! the argument in §2.2 of the paper.
+
+use mpca_crypto::lwe::{LweParams, LwePublicKey};
+use mpca_crypto::threshold::ThresholdDecryptor;
+use mpca_crypto::Prg;
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Derives the shared public matrix `A` (row-major, `pk_rows × dim`) from a
+/// CRS-seeded PRG.
+pub fn shared_matrix_from_crs(params: &LweParams, crs_prg: &mut Prg) -> Vec<u64> {
+    params.validate();
+    (0..params.pk_rows * params.dim)
+        .map(|_| crs_prg.gen_range(params.modulus))
+        .collect()
+}
+
+/// One committee member's key-generation contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeygenContribution {
+    /// `b_j = A·s_j + e_j`.
+    pub b: Vec<u64>,
+}
+
+impl KeygenContribution {
+    /// Samples a secret share and produces the public contribution.
+    ///
+    /// Returns the contribution (to be broadcast to the other committee
+    /// members) and the member's private [`ThresholdDecryptor`].
+    pub fn generate(
+        params: &LweParams,
+        shared_a: &[u64],
+        prg: &mut Prg,
+    ) -> (KeygenContribution, ThresholdDecryptor) {
+        params.validate();
+        assert_eq!(
+            shared_a.len(),
+            params.pk_rows * params.dim,
+            "shared matrix has wrong shape"
+        );
+        let s: Vec<u64> = (0..params.dim).map(|_| prg.gen_range(params.modulus)).collect();
+        let mask = params.modulus - 1;
+        let mut b = Vec::with_capacity(params.pk_rows);
+        for row in 0..params.pk_rows {
+            let mut acc: u128 = 0;
+            for (j, sj) in s.iter().enumerate() {
+                acc = acc.wrapping_add(shared_a[row * params.dim + j] as u128 * *sj as u128);
+                acc &= (params.modulus as u128 * params.modulus as u128) - 1;
+            }
+            let inner = (acc & mask as u128) as u64;
+            // Noise in [-B, B].
+            let width = 2 * params.noise_bound + 1;
+            let v = prg.gen_range(width);
+            let noise = if v <= params.noise_bound {
+                v
+            } else {
+                params.modulus - (v - params.noise_bound)
+            };
+            b.push(((inner as u128 + noise as u128) & mask as u128) as u64);
+        }
+        (
+            KeygenContribution { b },
+            ThresholdDecryptor {
+                params: *params,
+                share: s,
+            },
+        )
+    }
+}
+
+/// Combines all members' contributions into the committee public key.
+///
+/// # Panics
+///
+/// Panics if no contributions are given or their shapes are inconsistent
+/// with the parameters.
+pub fn combine_contributions(
+    params: &LweParams,
+    shared_a: &[u64],
+    contributions: &[KeygenContribution],
+) -> LwePublicKey {
+    assert!(!contributions.is_empty(), "need at least one contribution");
+    assert_eq!(shared_a.len(), params.pk_rows * params.dim);
+    let mask = params.modulus - 1;
+    let mut b = vec![0u64; params.pk_rows];
+    for contribution in contributions {
+        assert_eq!(
+            contribution.b.len(),
+            params.pk_rows,
+            "contribution has wrong shape"
+        );
+        for (acc, v) in b.iter_mut().zip(contribution.b.iter()) {
+            *acc = ((*acc as u128 + *v as u128) & mask as u128) as u64;
+        }
+    }
+    LwePublicKey {
+        params: *params,
+        a: shared_a.to_vec(),
+        b,
+    }
+}
+
+impl Encode for KeygenContribution {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.b.len() as u64);
+        for v in &self.b {
+            w.put_u64(*v);
+        }
+    }
+}
+
+impl Decode for KeygenContribution {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.get_uvarint()? as usize;
+        if len > 1 << 20 {
+            return Err(WireError::Invalid("keygen contribution too long"));
+        }
+        let mut b = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            b.push(r.get_u64()?);
+        }
+        Ok(Self { b })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpca_crypto::lwe::LweCiphertext;
+    use mpca_crypto::threshold::{combine_partials_to_bytes, PartialDecryption};
+
+    #[test]
+    fn distributed_keygen_then_threshold_decrypt() {
+        let params = LweParams::default_params();
+        let mut crs = Prg::from_seed_bytes(b"dkg-crs");
+        let shared_a = shared_matrix_from_crs(&params, &mut crs);
+        let members = 4;
+        let mut prg = Prg::from_seed_bytes(b"dkg-members");
+        let mut contributions = Vec::new();
+        let mut decryptors = Vec::new();
+        for _ in 0..members {
+            let (c, d) = KeygenContribution::generate(&params, &shared_a, &mut prg);
+            contributions.push(c);
+            decryptors.push(d);
+        }
+        let pk = combine_contributions(&params, &shared_a, &contributions);
+
+        let message = b"distributed keygen".to_vec();
+        let ct = pk.encrypt_bytes(&mut prg, &message);
+        let partials: Vec<PartialDecryption> = decryptors
+            .iter()
+            .map(|d| d.partial_decrypt(&mut prg, &ct))
+            .collect();
+        assert_eq!(
+            combine_partials_to_bytes(&params, &ct, &partials),
+            Some(message)
+        );
+    }
+
+    #[test]
+    fn single_member_keygen_works() {
+        let params = LweParams::toy();
+        let mut crs = Prg::from_seed_bytes(b"dkg-single");
+        let shared_a = shared_matrix_from_crs(&params, &mut crs);
+        let mut prg = Prg::from_seed_bytes(b"dkg-single-member");
+        let (contribution, decryptor) = KeygenContribution::generate(&params, &shared_a, &mut prg);
+        let pk = combine_contributions(&params, &shared_a, &[contribution]);
+        let ct = pk.encrypt_bytes(&mut prg, b"solo");
+        let partial = decryptor.partial_decrypt(&mut prg, &ct);
+        assert_eq!(
+            combine_partials_to_bytes(&params, &ct, &[partial]),
+            Some(b"solo".to_vec())
+        );
+    }
+
+    #[test]
+    fn missing_member_cannot_decrypt() {
+        let params = LweParams::toy();
+        let mut crs = Prg::from_seed_bytes(b"dkg-missing");
+        let shared_a = shared_matrix_from_crs(&params, &mut crs);
+        let mut prg = Prg::from_seed_bytes(b"dkg-missing-members");
+        let mut contributions = Vec::new();
+        let mut decryptors = Vec::new();
+        for _ in 0..3 {
+            let (c, d) = KeygenContribution::generate(&params, &shared_a, &mut prg);
+            contributions.push(c);
+            decryptors.push(d);
+        }
+        let pk = combine_contributions(&params, &shared_a, &contributions);
+        let message = b"hidden from coalitions".to_vec();
+        let ct = pk.encrypt_bytes(&mut prg, &message);
+        // Only two of the three members cooperate.
+        let partials: Vec<PartialDecryption> = decryptors[..2]
+            .iter()
+            .map(|d| d.partial_decrypt(&mut prg, &ct))
+            .collect();
+        assert_ne!(
+            combine_partials_to_bytes(&params, &ct, &partials),
+            Some(message)
+        );
+    }
+
+    #[test]
+    fn homomorphic_aggregation_with_distributed_key() {
+        let params = LweParams::default_params();
+        let mut crs = Prg::from_seed_bytes(b"dkg-hom");
+        let shared_a = shared_matrix_from_crs(&params, &mut crs);
+        let mut prg = Prg::from_seed_bytes(b"dkg-hom-members");
+        let members = 3;
+        let mut contributions = Vec::new();
+        let mut decryptors = Vec::new();
+        for _ in 0..members {
+            let (c, d) = KeygenContribution::generate(&params, &shared_a, &mut prg);
+            contributions.push(c);
+            decryptors.push(d);
+        }
+        let pk = combine_contributions(&params, &shared_a, &contributions);
+
+        let values = [12u64, 900, 55, 1, 4000];
+        let mut acc: Option<LweCiphertext> = None;
+        for &v in &values {
+            let ct = LweCiphertext {
+                chunks: vec![pk.encrypt_chunk(&mut prg, v)],
+            };
+            match &mut acc {
+                None => acc = Some(ct),
+                Some(a) => a.add_assign(&ct, &params),
+            }
+        }
+        let acc = acc.unwrap();
+        let partials: Vec<PartialDecryption> = decryptors
+            .iter()
+            .map(|d| d.partial_decrypt(&mut prg, &acc))
+            .collect();
+        let chunks =
+            mpca_crypto::threshold::combine_partials(&params, &acc, &partials).unwrap();
+        assert_eq!(chunks[0], values.iter().sum::<u64>() % params.plaintext_modulus);
+    }
+
+    #[test]
+    fn contribution_wire_round_trip() {
+        let params = LweParams::toy();
+        let mut crs = Prg::from_seed_bytes(b"dkg-wire");
+        let shared_a = shared_matrix_from_crs(&params, &mut crs);
+        let mut prg = Prg::from_seed_bytes(b"dkg-wire-member");
+        let (contribution, _) = KeygenContribution::generate(&params, &shared_a, &mut prg);
+        let back: KeygenContribution =
+            mpca_wire::from_bytes(&mpca_wire::to_bytes(&contribution)).unwrap();
+        assert_eq!(back, contribution);
+    }
+}

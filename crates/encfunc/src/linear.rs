@@ -1,0 +1,182 @@
+//! Concrete homomorphic evaluation for linear functionalities.
+//!
+//! When the functionality is a modular sum and each party's input fits in a
+//! single LWE plaintext chunk, the committee can evaluate it with real
+//! cryptography only: each party's ciphertext is added homomorphically and
+//! the committee threshold-decrypts the aggregate. No trusted party is
+//! involved at any point.
+
+use mpca_crypto::lwe::{LweCiphertext, LweParams, LwePublicKey};
+use mpca_crypto::Prg;
+
+use crate::spec::Functionality;
+
+/// Returns the plaintext chunk encoding of `input` for the concrete path, or
+/// `None` when the functionality/parameter combination is not supported by
+/// the concrete path (non-linear functionality, or the input does not fit in
+/// one plaintext chunk).
+pub fn concrete_input_chunk(
+    params: &LweParams,
+    functionality: &Functionality,
+    input: &[u8],
+) -> Option<u64> {
+    match functionality {
+        Functionality::Sum { input_bytes } => {
+            if input.len() != *input_bytes {
+                return None;
+            }
+            // The whole input must fit in one chunk so that chunk-wise
+            // addition equals addition modulo 2^(8·input_bytes).
+            let plaintext_bits = 63 - params.plaintext_modulus.leading_zeros() as usize;
+            if 8 * *input_bytes > plaintext_bits {
+                return None;
+            }
+            let mut padded = [0u8; 8];
+            padded[..input.len()].copy_from_slice(input);
+            Some(u64::from_le_bytes(padded))
+        }
+        _ => None,
+    }
+}
+
+/// Returns `true` when the functionality can be evaluated through the
+/// concrete threshold-LWE path under the given parameters.
+pub fn supports_concrete_path(params: &LweParams, functionality: &Functionality) -> bool {
+    match functionality {
+        Functionality::Sum { input_bytes } => {
+            let plaintext_bits = 63 - params.plaintext_modulus.leading_zeros() as usize;
+            8 * *input_bytes <= plaintext_bits
+        }
+        _ => false,
+    }
+}
+
+/// Encrypts a party's input for the concrete path (a single-chunk
+/// ciphertext), or `None` when the path is unsupported.
+pub fn encrypt_concrete_input(
+    pk: &LwePublicKey,
+    prg: &mut Prg,
+    functionality: &Functionality,
+    input: &[u8],
+) -> Option<LweCiphertext> {
+    let chunk = concrete_input_chunk(&pk.params, functionality, input)?;
+    Some(LweCiphertext {
+        chunks: vec![pk.encrypt_chunk(prg, chunk)],
+    })
+}
+
+/// Homomorphically aggregates the parties' single-chunk ciphertexts.
+///
+/// Returns `None` if the list is empty or shapes are inconsistent.
+pub fn aggregate_ciphertexts(
+    params: &LweParams,
+    ciphertexts: &[LweCiphertext],
+) -> Option<LweCiphertext> {
+    let mut iter = ciphertexts.iter();
+    let first = iter.next()?.clone();
+    if first.chunks.len() != 1 {
+        return None;
+    }
+    let mut acc = first;
+    for ct in iter {
+        if ct.chunks.len() != acc.chunks.len()
+            || ct.chunks[0].0.len() != acc.chunks[0].0.len()
+        {
+            return None;
+        }
+        acc.add_assign(ct, params);
+    }
+    Some(acc)
+}
+
+/// Converts the decrypted aggregate chunk back into the functionality's
+/// output byte string.
+pub fn output_from_chunk(functionality: &Functionality, chunk: u64) -> Vec<u8> {
+    match functionality {
+        Functionality::Sum { input_bytes } => {
+            let masked = if *input_bytes >= 8 {
+                chunk
+            } else {
+                chunk & ((1u64 << (8 * input_bytes)) - 1)
+            };
+            masked.to_le_bytes()[..*input_bytes].to_vec()
+        }
+        _ => chunk.to_le_bytes().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpca_crypto::lwe::keygen;
+    use mpca_crypto::threshold::{combine_partials, PartialDecryption, ThresholdKeyShares};
+
+    #[test]
+    fn concrete_path_support_matrix() {
+        let params = LweParams::default_params(); // 16-bit plaintext chunks
+        assert!(supports_concrete_path(&params, &Functionality::Sum { input_bytes: 1 }));
+        assert!(supports_concrete_path(&params, &Functionality::Sum { input_bytes: 2 }));
+        assert!(!supports_concrete_path(&params, &Functionality::Sum { input_bytes: 4 }));
+        assert!(!supports_concrete_path(&params, &Functionality::Xor { input_bytes: 1 }));
+    }
+
+    #[test]
+    fn chunk_encoding_checks_width() {
+        let params = LweParams::default_params();
+        let f = Functionality::Sum { input_bytes: 2 };
+        assert_eq!(
+            concrete_input_chunk(&params, &f, &500u16.to_le_bytes()),
+            Some(500)
+        );
+        assert_eq!(concrete_input_chunk(&params, &f, &[1]), None);
+    }
+
+    #[test]
+    fn end_to_end_concrete_sum() {
+        let params = LweParams::default_params();
+        let mut prg = Prg::from_seed_bytes(b"linear-e2e");
+        let (pk, sk) = keygen(&params, &mut prg);
+        let shares = ThresholdKeyShares::split(&mut prg, &sk, 3);
+        let f = Functionality::Sum { input_bytes: 2 };
+
+        let inputs: Vec<Vec<u8>> = [100u16, 2000, 65_000, 5]
+            .iter()
+            .map(|v| v.to_le_bytes().to_vec())
+            .collect();
+        let cts: Vec<LweCiphertext> = inputs
+            .iter()
+            .map(|x| encrypt_concrete_input(&pk, &mut prg, &f, x).unwrap())
+            .collect();
+        let aggregate = aggregate_ciphertexts(&params, &cts).unwrap();
+        let partials: Vec<PartialDecryption> = (0..3)
+            .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &aggregate))
+            .collect();
+        let chunks = combine_partials(&params, &aggregate, &partials).unwrap();
+        let output = output_from_chunk(&f, chunks[0]);
+        assert_eq!(output, f.evaluate(&inputs));
+    }
+
+    #[test]
+    fn aggregation_rejects_inconsistent_shapes() {
+        let params = LweParams::toy();
+        let mut prg = Prg::from_seed_bytes(b"linear-shapes");
+        let (pk, _sk) = keygen(&params, &mut prg);
+        let good = LweCiphertext {
+            chunks: vec![pk.encrypt_chunk(&mut prg, 1)],
+        };
+        let bad = LweCiphertext {
+            chunks: vec![pk.encrypt_chunk(&mut prg, 1), pk.encrypt_chunk(&mut prg, 2)],
+        };
+        assert!(aggregate_ciphertexts(&params, &[]).is_none());
+        assert!(aggregate_ciphertexts(&params, &[good.clone(), bad]).is_none());
+        assert!(aggregate_ciphertexts(&params, &[good.clone(), good]).is_some());
+    }
+
+    #[test]
+    fn output_masks_to_input_width() {
+        let f = Functionality::Sum { input_bytes: 1 };
+        assert_eq!(output_from_chunk(&f, 0x1FF), vec![0xFF]);
+        let f2 = Functionality::Sum { input_bytes: 2 };
+        assert_eq!(output_from_chunk(&f2, 0x1FFFF), vec![0xFF, 0xFF]);
+    }
+}

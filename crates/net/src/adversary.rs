@@ -1,0 +1,289 @@
+//! The static malicious adversary interface and generic attack strategies.
+//!
+//! The adversary corrupts a fixed set of parties before the protocol starts
+//! (static corruption). Corrupted parties are **not** executed by the honest
+//! [`PartyLogic`](crate::PartyLogic); instead, each round the adversary
+//! observes every envelope delivered to a corrupted party and may inject
+//! arbitrary envelopes originating from corrupted parties. This captures the
+//! full power of a malicious (Byzantine) adversary on authenticated
+//! point-to-point channels: it can stay silent, lie, equivocate, flood, and
+//! coordinate across its corrupted parties, but it cannot forge the channel
+//! identity of an honest sender.
+//!
+//! Protocol-specific attacks (equivocating on a particular field, tampering
+//! with a particular output) are built from [`ProxyAdversary`], which runs
+//! the honest logic for corrupted parties and rewrites their outgoing
+//! envelopes through a hook.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::envelope::Envelope;
+use crate::party::{PartyCtx, PartyId, PartyLogic};
+
+/// Context the adversary uses to inject messages.
+#[derive(Debug, Default)]
+pub struct AdversaryCtx {
+    outgoing: Vec<Envelope>,
+}
+
+impl AdversaryCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sends `payload` from corrupted party `from` to `to`.
+    ///
+    /// The simulator asserts that `from` is indeed corrupted: the adversary
+    /// cannot spoof honest senders on authenticated point-to-point channels.
+    pub fn send_as(&mut self, from: PartyId, to: PartyId, payload: Vec<u8>) {
+        self.outgoing.push(Envelope { from, to, payload });
+    }
+
+    /// Sends an encodable message from `from` to `to`.
+    pub fn send_msg_as<T: mpca_wire::Encode + ?Sized>(&mut self, from: PartyId, to: PartyId, msg: &T) {
+        self.send_as(from, to, mpca_wire::to_bytes(msg));
+    }
+
+    /// Drains queued envelopes (used by the simulator).
+    pub fn take_outgoing(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.outgoing)
+    }
+}
+
+/// A static malicious adversary.
+pub trait Adversary {
+    /// The set of corrupted parties (fixed before the execution).
+    fn corrupted(&self) -> &BTreeSet<PartyId>;
+
+    /// Called once per round **after** the round's deliveries are known.
+    ///
+    /// `delivered` maps each corrupted party to the envelopes it received
+    /// this round (the adversary is rushing within a round boundary: it sees
+    /// what its parties received in round `r` before choosing what they send
+    /// for delivery in round `r + 1`).
+    fn on_round(
+        &mut self,
+        round: usize,
+        delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+        ctx: &mut AdversaryCtx,
+    );
+}
+
+/// The empty adversary: corrupts nobody and sends nothing.
+#[derive(Debug, Default)]
+pub struct NoAdversary {
+    corrupted: BTreeSet<PartyId>,
+}
+
+impl NoAdversary {
+    /// Creates the empty adversary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for NoAdversary {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: usize,
+        _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+        _ctx: &mut AdversaryCtx,
+    ) {
+    }
+}
+
+/// Corrupted parties that never send anything (crash-style maliciousness).
+#[derive(Debug)]
+pub struct SilentAdversary {
+    corrupted: BTreeSet<PartyId>,
+}
+
+impl SilentAdversary {
+    /// Corrupts the given parties.
+    pub fn new(corrupted: impl IntoIterator<Item = PartyId>) -> Self {
+        Self {
+            corrupted: corrupted.into_iter().collect(),
+        }
+    }
+}
+
+impl Adversary for SilentAdversary {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: usize,
+        _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+        _ctx: &mut AdversaryCtx,
+    ) {
+    }
+}
+
+/// Corrupted parties that flood a set of victims with junk every round.
+///
+/// Used to check the paper's flooding rule: honest parties must abort (not
+/// misbehave, not count the junk towards the protocol's communication) when
+/// they receive more than the protocol prescribes.
+#[derive(Debug)]
+pub struct FloodAdversary {
+    corrupted: BTreeSet<PartyId>,
+    victims: Vec<PartyId>,
+    junk_bytes: usize,
+}
+
+impl FloodAdversary {
+    /// Corrupts `corrupted` and floods `victims` with `junk_bytes` of junk
+    /// from each corrupted party every round.
+    pub fn new(
+        corrupted: impl IntoIterator<Item = PartyId>,
+        victims: impl IntoIterator<Item = PartyId>,
+        junk_bytes: usize,
+    ) -> Self {
+        Self {
+            corrupted: corrupted.into_iter().collect(),
+            victims: victims.into_iter().collect(),
+            junk_bytes,
+        }
+    }
+}
+
+impl Adversary for FloodAdversary {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        _round: usize,
+        _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+        ctx: &mut AdversaryCtx,
+    ) {
+        let junk = vec![0xEEu8; self.junk_bytes];
+        for &from in &self.corrupted {
+            for &to in &self.victims {
+                ctx.send_as(from, to, junk.clone());
+            }
+        }
+    }
+}
+
+/// Runs the honest protocol logic for each corrupted party, but passes every
+/// outgoing envelope through a rewrite hook.
+///
+/// This is the workhorse for protocol-specific attacks: an equivocator
+/// returns different payloads depending on the recipient, a withholder
+/// returns an empty vector for selected recipients, a tamperer flips bytes,
+/// and so on — all without re-implementing the protocol.
+pub struct ProxyAdversary<L: PartyLogic> {
+    parties: BTreeMap<PartyId, L>,
+    n: usize,
+    /// Hook applied to each envelope produced by the corrupted parties'
+    /// honest logic. Returning an empty vector drops the message.
+    rewrite: Box<dyn FnMut(usize, &Envelope) -> Vec<Envelope>>,
+    corrupted: BTreeSet<PartyId>,
+}
+
+impl<L: PartyLogic> std::fmt::Debug for ProxyAdversary<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyAdversary")
+            .field("corrupted", &self.corrupted)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: PartyLogic> ProxyAdversary<L> {
+    /// Creates a proxy adversary controlling `parties` (given as fully
+    /// constructed honest logic instances) in an `n`-party network.
+    pub fn new(
+        parties: impl IntoIterator<Item = L>,
+        n: usize,
+        rewrite: impl FnMut(usize, &Envelope) -> Vec<Envelope> + 'static,
+    ) -> Self {
+        let parties: BTreeMap<PartyId, L> = parties.into_iter().map(|p| (p.id(), p)).collect();
+        let corrupted = parties.keys().copied().collect();
+        Self {
+            parties,
+            n,
+            rewrite: Box::new(rewrite),
+            corrupted,
+        }
+    }
+
+    /// A proxy adversary whose corrupted parties behave entirely honestly
+    /// (useful as a baseline: the protocol must succeed).
+    pub fn honest(parties: impl IntoIterator<Item = L>, n: usize) -> Self {
+        Self::new(parties, n, |_, envelope| vec![envelope.clone()])
+    }
+}
+
+impl<L: PartyLogic> Adversary for ProxyAdversary<L> {
+    fn corrupted(&self) -> &BTreeSet<PartyId> {
+        &self.corrupted
+    }
+
+    fn on_round(
+        &mut self,
+        round: usize,
+        delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+        ctx: &mut AdversaryCtx,
+    ) {
+        for (&id, logic) in self.parties.iter_mut() {
+            let incoming = delivered.get(&id).cloned().unwrap_or_default();
+            let mut party_ctx = PartyCtx::new(id, self.n);
+            // The proxy keeps running its copies even after they output or
+            // abort; their post-termination sends are simply empty.
+            let _ = logic.on_round(round, &incoming, &mut party_ctx);
+            for envelope in party_ctx.take_outgoing() {
+                for rewritten in (self.rewrite)(round, &envelope) {
+                    ctx.send_as(rewritten.from, rewritten.to, rewritten.payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_ctx_collects() {
+        let mut ctx = AdversaryCtx::new();
+        ctx.send_as(PartyId(0), PartyId(1), vec![1]);
+        ctx.send_msg_as(PartyId(0), PartyId(2), &7u16);
+        let out = ctx.take_outgoing();
+        assert_eq!(out.len(), 2);
+        assert!(ctx.take_outgoing().is_empty());
+    }
+
+    #[test]
+    fn flood_adversary_sends_junk() {
+        let mut adv = FloodAdversary::new([PartyId(0)], [PartyId(1), PartyId(2)], 16);
+        let mut ctx = AdversaryCtx::new();
+        adv.on_round(0, &BTreeMap::new(), &mut ctx);
+        let out = ctx.take_outgoing();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.payload.len() == 16));
+    }
+
+    #[test]
+    fn no_and_silent_adversaries_send_nothing() {
+        let mut ctx = AdversaryCtx::new();
+        NoAdversary::new().on_round(0, &BTreeMap::new(), &mut ctx);
+        SilentAdversary::new([PartyId(3)]).on_round(0, &BTreeMap::new(), &mut ctx);
+        assert!(ctx.take_outgoing().is_empty());
+        assert!(NoAdversary::new().corrupted().is_empty());
+        assert_eq!(
+            SilentAdversary::new([PartyId(3)]).corrupted().len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The common random string (CRS).
+//!
+//! The paper allows "the very basic setup of a shared common random string"
+//! (§1.1) but no stronger trusted setup such as a PKI. The CRS here is a
+//! 32-byte seed; parties derive whatever shared randomness a protocol needs
+//! (e.g. hash keys) from it through labelled PRGs, and parties additionally
+//! derive *private* per-party randomness from their own seeds.
+
+use mpca_crypto::Prg;
+
+use crate::party::PartyId;
+
+/// A common random string shared by all parties, plus a master seed from
+/// which per-party private randomness is derived deterministically (for
+/// reproducible experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonRandomString {
+    seed: [u8; 32],
+}
+
+impl CommonRandomString {
+    /// Creates a CRS from a seed.
+    pub fn new(seed: [u8; 32]) -> Self {
+        Self { seed }
+    }
+
+    /// Creates a CRS by hashing a label (convenient in tests and examples).
+    pub fn from_label(label: &[u8]) -> Self {
+        Self {
+            seed: mpca_crypto::sha256::sha256_parts(&[b"mpca-crs", label]),
+        }
+    }
+
+    /// The raw seed.
+    pub fn seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// Shared randomness for a protocol-wide purpose (visible to everyone,
+    /// including the adversary).
+    pub fn shared_prg(&self, label: &[u8]) -> Prg {
+        Prg::from_seed_bytes(&[b"mpca-crs-shared", &self.seed[..], label].concat())
+    }
+
+    /// Private randomness for one party.
+    ///
+    /// In a real deployment each party samples its own coins locally; in the
+    /// simulator we derive them from the CRS seed **plus the party id** so
+    /// that experiments are reproducible. The derivation label is disjoint
+    /// from [`CommonRandomString::shared_prg`], so "private" coins are never
+    /// re-derivable from shared ones inside protocol logic.
+    pub fn party_prg(&self, id: PartyId, label: &[u8]) -> Prg {
+        Prg::from_seed_bytes(
+            &[
+                b"mpca-crs-party",
+                &self.seed[..],
+                &(id.index() as u64).to_le_bytes(),
+                label,
+            ]
+            .concat(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn shared_prg_is_deterministic_per_label() {
+        let crs = CommonRandomString::from_label(b"test");
+        let mut a = crs.shared_prg(b"x");
+        let mut b = crs.shared_prg(b"x");
+        let mut c = crs.shared_prg(b"y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn party_prgs_differ_between_parties() {
+        let crs = CommonRandomString::from_label(b"test");
+        let mut p0 = crs.party_prg(PartyId(0), b"input");
+        let mut p1 = crs.party_prg(PartyId(1), b"input");
+        assert_ne!(p0.next_u64(), p1.next_u64());
+    }
+
+    #[test]
+    fn different_crs_differ() {
+        let a = CommonRandomString::from_label(b"a");
+        let b = CommonRandomString::from_label(b"b");
+        assert_ne!(a.seed(), b.seed());
+        assert_eq!(a, CommonRandomString::new(a.seed()));
+    }
+}

@@ -1,0 +1,55 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::party::PartyId;
+
+/// Errors produced by the simulator itself (not protocol aborts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The protocol did not terminate within the configured round budget.
+    RoundLimitExceeded {
+        /// The configured limit.
+        max_rounds: usize,
+        /// Parties still running when the limit was hit.
+        still_running: Vec<PartyId>,
+    },
+    /// The configuration was inconsistent (e.g. corrupted set ⊄ party set, or
+    /// zero parties).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::RoundLimitExceeded {
+                max_rounds,
+                still_running,
+            } => write!(
+                f,
+                "protocol did not terminate within {max_rounds} rounds; {} parties still running",
+                still_running.len()
+            ),
+            NetError::InvalidConfig(s) => write!(f, "invalid simulator configuration: {s}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::RoundLimitExceeded {
+            max_rounds: 10,
+            still_running: vec![PartyId(0)],
+        };
+        assert!(e.to_string().contains("10 rounds"));
+        assert!(NetError::InvalidConfig("n = 0".into()).to_string().contains("n = 0"));
+    }
+}

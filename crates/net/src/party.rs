@@ -1,0 +1,235 @@
+//! Party identities and the protocol state-machine interface.
+
+use std::fmt;
+
+use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::envelope::Envelope;
+
+/// Identifier of a party, in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartyId(pub usize);
+
+impl PartyId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over all party ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = PartyId> {
+        (0..n).map(PartyId)
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for PartyId {
+    fn from(value: usize) -> Self {
+        PartyId(value)
+    }
+}
+
+impl Encode for PartyId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_uvarint(self.0 as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        mpca_wire::uvarint_len(self.0 as u64)
+    }
+}
+
+impl Decode for PartyId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = r.get_uvarint()?;
+        Ok(PartyId(usize::try_from(v).map_err(|_| WireError::LengthOverflow { declared: v })?))
+    }
+}
+
+/// Why a party aborted.
+///
+/// MPC *with selective abort* permits any honest party to abort instead of
+/// producing an output when it detects malicious behaviour; the reason is
+/// recorded for diagnostics and assertions in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AbortReason {
+    /// Two messages that were required to be equal differed (equivocation).
+    Equivocation(String),
+    /// A succinct equality test between two views rejected.
+    EqualityTestFailed(String),
+    /// The party received more messages or bytes than the protocol
+    /// prescribes (the paper's flooding rule, §3.1).
+    OverReceipt(String),
+    /// A message failed to parse or failed a validity check.
+    Malformed(String),
+    /// A required message never arrived.
+    MissingMessage(String),
+    /// A cryptographic verification (signature, MAC, commitment) failed.
+    CryptoFailure(String),
+    /// Another party propagated a warning/abort notification.
+    PeerAbort(String),
+    /// A protocol-specific bound was violated (e.g. committee too large).
+    BoundViolated(String),
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Equivocation(s) => write!(f, "equivocation detected: {s}"),
+            AbortReason::EqualityTestFailed(s) => write!(f, "equality test failed: {s}"),
+            AbortReason::OverReceipt(s) => write!(f, "received more than prescribed: {s}"),
+            AbortReason::Malformed(s) => write!(f, "malformed message: {s}"),
+            AbortReason::MissingMessage(s) => write!(f, "missing message: {s}"),
+            AbortReason::CryptoFailure(s) => write!(f, "cryptographic check failed: {s}"),
+            AbortReason::PeerAbort(s) => write!(f, "peer aborted: {s}"),
+            AbortReason::BoundViolated(s) => write!(f, "protocol bound violated: {s}"),
+        }
+    }
+}
+
+/// The result of one round of a party's state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step<O> {
+    /// The party has more rounds to run.
+    Continue,
+    /// The party terminated with an output.
+    Output(O),
+    /// The party aborted (selective abort).
+    Abort(AbortReason),
+}
+
+impl<O> Step<O> {
+    /// Returns `true` for [`Step::Continue`].
+    pub fn is_continue(&self) -> bool {
+        matches!(self, Step::Continue)
+    }
+}
+
+/// The interface a protocol party exposes to the simulator.
+///
+/// The simulator calls [`PartyLogic::on_round`] once per synchronous round,
+/// passing all envelopes delivered to the party this round (messages sent in
+/// round `r` are delivered in round `r + 1`; round `0` has no deliveries).
+pub trait PartyLogic {
+    /// The output type of the functionality being computed.
+    type Output;
+
+    /// This party's identity.
+    fn id(&self) -> PartyId;
+
+    /// Processes one synchronous round.
+    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Self::Output>;
+}
+
+/// Per-round context handed to a party, used to send messages.
+#[derive(Debug)]
+pub struct PartyCtx {
+    id: PartyId,
+    n: usize,
+    outgoing: Vec<Envelope>,
+}
+
+impl PartyCtx {
+    /// Creates a context for party `id` in an `n`-party network.
+    pub fn new(id: PartyId, n: usize) -> Self {
+        Self {
+            id,
+            n,
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// Number of parties in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The party this context belongs to.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// Queues a message to `to`, to be delivered next round.
+    ///
+    /// Sending to oneself is allowed but pointless; it is counted like any
+    /// other message so protocols avoid it.
+    pub fn send(&mut self, to: PartyId, payload: Vec<u8>) {
+        debug_assert!(to.index() < self.n, "recipient {to} out of range");
+        self.outgoing.push(Envelope {
+            from: self.id,
+            to,
+            payload,
+        });
+    }
+
+    /// Queues an encodable message to `to`.
+    pub fn send_msg<T: Encode + ?Sized>(&mut self, to: PartyId, msg: &T) {
+        self.send(to, mpca_wire::to_bytes(msg));
+    }
+
+    /// Queues the same encodable message to every party in `recipients`.
+    pub fn send_to_all<T: Encode + ?Sized>(
+        &mut self,
+        recipients: impl IntoIterator<Item = PartyId>,
+        msg: &T,
+    ) {
+        let bytes = mpca_wire::to_bytes(msg);
+        for to in recipients {
+            self.send(to, bytes.clone());
+        }
+    }
+
+    /// Drains the queued outgoing envelopes (used by the simulator).
+    pub fn take_outgoing(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.outgoing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_id_display_and_conversion() {
+        let id: PartyId = 7usize.into();
+        assert_eq!(id.to_string(), "P7");
+        assert_eq!(id.index(), 7);
+        let all: Vec<PartyId> = PartyId::all(3).collect();
+        assert_eq!(all, vec![PartyId(0), PartyId(1), PartyId(2)]);
+    }
+
+    #[test]
+    fn party_id_wire_round_trip() {
+        for i in [0usize, 1, 127, 128, 100_000] {
+            let id = PartyId(i);
+            let back: PartyId = mpca_wire::from_bytes(&mpca_wire::to_bytes(&id)).unwrap();
+            assert_eq!(back, id);
+        }
+    }
+
+    #[test]
+    fn ctx_collects_outgoing() {
+        let mut ctx = PartyCtx::new(PartyId(0), 4);
+        ctx.send(PartyId(1), vec![1, 2, 3]);
+        ctx.send_msg(PartyId(2), &42u64);
+        ctx.send_to_all(PartyId::all(4), &1u8);
+        let out = ctx.take_outgoing();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0].to, PartyId(1));
+        assert_eq!(out[0].payload, vec![1, 2, 3]);
+        assert!(ctx.take_outgoing().is_empty());
+    }
+
+    #[test]
+    fn abort_reasons_display() {
+        let reason = AbortReason::Equivocation("two public keys".into());
+        assert!(reason.to_string().contains("equivocation"));
+        assert!(Step::<()>::Continue.is_continue());
+        assert!(!Step::<()>::Abort(reason).is_continue());
+    }
+}

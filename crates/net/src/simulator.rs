@@ -1,0 +1,600 @@
+//! The synchronous round-driven simulator.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::adversary::{Adversary, AdversaryCtx};
+use crate::envelope::Envelope;
+use crate::error::NetError;
+use crate::party::{AbortReason, PartyCtx, PartyId, PartyLogic, Step};
+use crate::stats::CommStats;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Safety bound on the number of rounds before the simulator gives up.
+    pub max_rounds: usize,
+    /// Whether to charge bytes sent by corrupted parties to the statistics.
+    ///
+    /// The paper's communication-complexity measure only counts honest
+    /// parties following the protocol, so this defaults to `false`; the
+    /// flooding experiments flip it on to show that adversarial traffic is
+    /// excluded from the reported numbers by construction.
+    pub count_adversary_bytes: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 10_000,
+            count_adversary_bytes: false,
+        }
+    }
+}
+
+/// Terminal state of one honest party.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartyOutcome<O> {
+    /// The party produced an output.
+    Output(O),
+    /// The party aborted.
+    Aborted(AbortReason),
+}
+
+impl<O> PartyOutcome<O> {
+    /// Returns the output if the party produced one.
+    pub fn output(&self) -> Option<&O> {
+        match self {
+            PartyOutcome::Output(o) => Some(o),
+            PartyOutcome::Aborted(_) => None,
+        }
+    }
+
+    /// Returns `true` if the party aborted.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, PartyOutcome::Aborted(_))
+    }
+}
+
+/// The result of a protocol execution.
+#[derive(Debug, Clone)]
+pub struct RunResult<O> {
+    /// Terminal state of every honest party.
+    pub outcomes: BTreeMap<PartyId, PartyOutcome<O>>,
+    /// Communication statistics of the execution.
+    pub stats: CommStats,
+    /// Number of rounds executed.
+    pub rounds: usize,
+}
+
+impl<O: PartialEq + std::fmt::Debug> RunResult<O> {
+    /// The set of honest parties in this execution.
+    pub fn honest_parties(&self) -> BTreeSet<PartyId> {
+        self.outcomes.keys().copied().collect()
+    }
+
+    /// Returns `true` if at least one honest party aborted.
+    pub fn any_abort(&self) -> bool {
+        self.outcomes.values().any(PartyOutcome::is_abort)
+    }
+
+    /// Returns `true` if every honest party aborted.
+    pub fn all_aborted(&self) -> bool {
+        self.outcomes.values().all(PartyOutcome::is_abort)
+    }
+
+    /// If **no** party aborted and all outputs are equal, returns that output.
+    pub fn unanimous_output(&self) -> Option<&O> {
+        let mut iter = self.outcomes.values();
+        let first = iter.next()?.output()?;
+        for outcome in self.outcomes.values() {
+            if outcome.output() != Some(first) {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// The outcome of a specific party, if it was honest.
+    pub fn outcome_of(&self, id: PartyId) -> Option<&PartyOutcome<O>> {
+        self.outcomes.get(&id)
+    }
+
+    /// The paper's correctness-with-abort guarantee: every honest party
+    /// either output `expected` or aborted (and at least one party exists).
+    pub fn correct_or_aborted(&self, expected: &O) -> bool {
+        !self.outcomes.is_empty()
+            && self.outcomes.values().all(|outcome| match outcome {
+                PartyOutcome::Output(o) => o == expected,
+                PartyOutcome::Aborted(_) => true,
+            })
+    }
+
+    /// Honest-party bits sent during the execution (the paper's measure).
+    pub fn honest_bits(&self) -> u64 {
+        self.stats.bytes_sent_by(&self.honest_parties()) * 8
+    }
+
+    /// Maximum locality over the honest parties.
+    pub fn honest_locality(&self) -> usize {
+        self.stats.max_locality(&self.honest_parties())
+    }
+}
+
+/// The synchronous network simulator.
+///
+/// Messages sent in round `r` are delivered at the start of round `r + 1`;
+/// round `0` starts with empty inboxes. The execution ends when every honest
+/// party has terminated (output or abort), or errs when `max_rounds` is hit.
+pub struct Simulator<L: PartyLogic> {
+    n: usize,
+    honest: BTreeMap<PartyId, L>,
+    adversary: Box<dyn Adversary>,
+    config: SimConfig,
+}
+
+impl<L: PartyLogic> std::fmt::Debug for Simulator<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("n", &self.n)
+            .field("honest", &self.honest.keys().collect::<Vec<_>>())
+            .field("corrupted", &self.adversary.corrupted())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: PartyLogic> Simulator<L> {
+    /// Creates a simulator for an `n`-party network.
+    ///
+    /// `honest_parties` must contain exactly the parties in `0..n` that are
+    /// **not** corrupted by `adversary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the party sets are
+    /// inconsistent.
+    pub fn new(
+        n: usize,
+        honest_parties: Vec<L>,
+        adversary: Box<dyn Adversary>,
+        config: SimConfig,
+    ) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::InvalidConfig("n must be positive".into()));
+        }
+        let honest: BTreeMap<PartyId, L> =
+            honest_parties.into_iter().map(|p| (p.id(), p)).collect();
+        let corrupted = adversary.corrupted().clone();
+        for id in &corrupted {
+            if id.index() >= n {
+                return Err(NetError::InvalidConfig(format!(
+                    "corrupted party {id} out of range for n = {n}"
+                )));
+            }
+            if honest.contains_key(id) {
+                return Err(NetError::InvalidConfig(format!(
+                    "party {id} is both honest and corrupted"
+                )));
+            }
+        }
+        for id in PartyId::all(n) {
+            if !corrupted.contains(&id) && !honest.contains_key(&id) {
+                return Err(NetError::InvalidConfig(format!(
+                    "party {id} is neither honest nor corrupted"
+                )));
+            }
+        }
+        if honest.keys().any(|id| id.index() >= n) {
+            return Err(NetError::InvalidConfig("honest party out of range".into()));
+        }
+        Ok(Self {
+            n,
+            honest,
+            adversary,
+            config,
+        })
+    }
+
+    /// Convenience constructor for all-honest executions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidConfig`] when the party set is inconsistent.
+    pub fn all_honest(n: usize, honest_parties: Vec<L>) -> Result<Self, NetError> {
+        Self::new(
+            n,
+            honest_parties,
+            Box::new(crate::adversary::NoAdversary::new()),
+            SimConfig::default(),
+        )
+    }
+
+    /// Runs the execution to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RoundLimitExceeded`] if honest parties are still
+    /// running after `max_rounds` rounds — this always indicates a protocol
+    /// implementation bug, never a legal protocol outcome.
+    pub fn run(mut self) -> Result<RunResult<L::Output>, NetError> {
+        let mut stats = CommStats::new();
+        let mut outcomes: BTreeMap<PartyId, PartyOutcome<L::Output>> = BTreeMap::new();
+        let mut inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
+        let corrupted = self.adversary.corrupted().clone();
+
+        for round in 0..self.config.max_rounds {
+            let mut next_inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
+
+            // Honest parties act on this round's deliveries.
+            for (&id, logic) in self.honest.iter_mut() {
+                if outcomes.contains_key(&id) {
+                    continue;
+                }
+                let incoming = inboxes.remove(&id).unwrap_or_default();
+                let mut ctx = PartyCtx::new(id, self.n);
+                let step = logic.on_round(round, &incoming, &mut ctx);
+                for envelope in ctx.take_outgoing() {
+                    stats.record_send(envelope.from, envelope.to, envelope.payload_len());
+                    next_inboxes.entry(envelope.to).or_default().push(envelope);
+                }
+                match step {
+                    Step::Continue => {}
+                    Step::Output(output) => {
+                        outcomes.insert(id, PartyOutcome::Output(output));
+                    }
+                    Step::Abort(reason) => {
+                        outcomes.insert(id, PartyOutcome::Aborted(reason));
+                    }
+                }
+            }
+
+            // The adversary sees everything delivered to corrupted parties
+            // this round and injects messages for next round.
+            let delivered_to_corrupted: BTreeMap<PartyId, Vec<Envelope>> = corrupted
+                .iter()
+                .map(|id| (*id, inboxes.remove(id).unwrap_or_default()))
+                .collect();
+            let mut adv_ctx = AdversaryCtx::new();
+            self.adversary
+                .on_round(round, &delivered_to_corrupted, &mut adv_ctx);
+            for envelope in adv_ctx.take_outgoing() {
+                // Channels are authenticated: the adversary can only speak as
+                // parties it actually corrupted.
+                if !corrupted.contains(&envelope.from) {
+                    continue;
+                }
+                if envelope.to.index() >= self.n {
+                    continue;
+                }
+                if self.config.count_adversary_bytes {
+                    stats.record_send(envelope.from, envelope.to, envelope.payload_len());
+                }
+                next_inboxes.entry(envelope.to).or_default().push(envelope);
+            }
+
+            // Deterministic delivery order: sort by sender id.
+            for queue in next_inboxes.values_mut() {
+                queue.sort_by_key(|e| e.from);
+            }
+            inboxes = next_inboxes;
+
+            if outcomes.len() == self.honest.len() {
+                stats.set_rounds(round + 1);
+                return Ok(RunResult {
+                    outcomes,
+                    stats,
+                    rounds: round + 1,
+                });
+            }
+        }
+
+        let still_running: Vec<PartyId> = self
+            .honest
+            .keys()
+            .filter(|id| !outcomes.contains_key(id))
+            .copied()
+            .collect();
+        Err(NetError::RoundLimitExceeded {
+            max_rounds: self.config.max_rounds,
+            still_running,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FloodAdversary, NoAdversary, ProxyAdversary, SilentAdversary};
+
+    /// A toy protocol: every party sends its value to everyone in round 0,
+    /// and in round 1 outputs the sum of all received values plus its own.
+    /// If it receives more than n messages it aborts (flooding rule).
+    struct SumParty {
+        id: PartyId,
+        n: usize,
+        value: u64,
+    }
+
+    impl PartyLogic for SumParty {
+        type Output = u64;
+
+        fn id(&self) -> PartyId {
+            self.id
+        }
+
+        fn on_round(
+            &mut self,
+            round: usize,
+            incoming: &[Envelope],
+            ctx: &mut PartyCtx,
+        ) -> Step<u64> {
+            match round {
+                0 => {
+                    for to in PartyId::all(self.n) {
+                        if to != self.id {
+                            ctx.send_msg(to, &self.value);
+                        }
+                    }
+                    Step::Continue
+                }
+                1 => {
+                    if incoming.len() > self.n - 1 {
+                        return Step::Abort(AbortReason::OverReceipt(format!(
+                            "{} messages",
+                            incoming.len()
+                        )));
+                    }
+                    let mut sum = self.value;
+                    for envelope in incoming {
+                        match envelope.decode::<u64>() {
+                            Ok(v) => sum += v,
+                            Err(e) => {
+                                return Step::Abort(AbortReason::Malformed(e.to_string()))
+                            }
+                        }
+                    }
+                    Step::Output(sum)
+                }
+                _ => unreachable!("protocol has two rounds"),
+            }
+        }
+    }
+
+    fn sum_parties(n: usize, skip: &BTreeSet<PartyId>) -> Vec<SumParty> {
+        PartyId::all(n)
+            .filter(|id| !skip.contains(id))
+            .map(|id| SumParty {
+                id,
+                n,
+                value: id.index() as u64 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_sum() {
+        let n = 5;
+        let sim = Simulator::all_honest(n, sum_parties(n, &BTreeSet::new())).unwrap();
+        let result = sim.run().unwrap();
+        // 1 + 2 + 3 + 4 + 5 = 15.
+        assert_eq!(result.unanimous_output(), Some(&15));
+        assert!(!result.any_abort());
+        assert_eq!(result.rounds, 2);
+        // Each of 5 parties sends 4 messages of 8 bytes.
+        assert_eq!(result.stats.total_bytes(), 5 * 4 * 8);
+        assert_eq!(result.honest_locality(), 4);
+    }
+
+    #[test]
+    fn silent_adversary_changes_sum_but_everyone_agrees_or_aborts() {
+        let n = 5;
+        let corrupted: BTreeSet<PartyId> = [PartyId(4)].into_iter().collect();
+        let sim = Simulator::new(
+            n,
+            sum_parties(n, &corrupted),
+            Box::new(SilentAdversary::new(corrupted.clone())),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        // The silent party contributes nothing: honest sum = 15 - 5 = 10.
+        assert_eq!(result.unanimous_output(), Some(&10));
+        assert_eq!(result.honest_parties().len(), 4);
+    }
+
+    #[test]
+    fn flooding_causes_abort_not_wrong_output() {
+        let n = 4;
+        let corrupted: BTreeSet<PartyId> = [PartyId(3)].into_iter().collect();
+        // 16-byte junk payloads fail to parse as the protocol's u64 values.
+        let adversary = FloodAdversary::new(corrupted.clone(), PartyId::all(n - 1), 16);
+        let sim = Simulator::new(
+            n,
+            sum_parties(n, &corrupted),
+            Box::new(adversary),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        // Every honest party sees the malformed flood and aborts rather than
+        // producing a (potentially wrong) output.
+        assert!(result.all_aborted());
+    }
+
+    #[test]
+    fn proxy_adversary_honest_behaviour_is_transparent() {
+        let n = 4;
+        let corrupted: BTreeSet<PartyId> = [PartyId(0)].into_iter().collect();
+        let corrupted_logic = sum_parties(n, &BTreeSet::new())
+            .into_iter()
+            .filter(|p| corrupted.contains(&p.id()));
+        let adversary = ProxyAdversary::honest(corrupted_logic, n);
+        let sim = Simulator::new(
+            n,
+            sum_parties(n, &corrupted),
+            Box::new(adversary),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        assert_eq!(result.unanimous_output(), Some(&10)); // 1+2+3+4
+    }
+
+    #[test]
+    fn proxy_adversary_can_equivocate() {
+        let n = 4;
+        let corrupted: BTreeSet<PartyId> = [PartyId(0)].into_iter().collect();
+        let corrupted_logic = sum_parties(n, &BTreeSet::new())
+            .into_iter()
+            .filter(|p| corrupted.contains(&p.id()));
+        // Send value 1 to party 1 but value 100 to everyone else.
+        let adversary = ProxyAdversary::new(corrupted_logic, n, |_round, envelope| {
+            let mut out = envelope.clone();
+            if envelope.to != PartyId(1) {
+                out.payload = mpca_wire::to_bytes(&100u64);
+            }
+            vec![out]
+        });
+        let sim = Simulator::new(
+            n,
+            sum_parties(n, &corrupted),
+            Box::new(adversary),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        // This toy protocol has no equivocation detection, so outputs differ —
+        // which is exactly why the paper's protocols need verification steps.
+        assert!(result.unanimous_output().is_none());
+        assert!(!result.any_abort());
+    }
+
+    #[test]
+    fn adversary_cannot_spoof_honest_senders() {
+        struct Spoofer {
+            corrupted: BTreeSet<PartyId>,
+        }
+        impl Adversary for Spoofer {
+            fn corrupted(&self) -> &BTreeSet<PartyId> {
+                &self.corrupted
+            }
+            fn on_round(
+                &mut self,
+                _round: usize,
+                _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
+                ctx: &mut AdversaryCtx,
+            ) {
+                // Tries to speak as honest party 1.
+                ctx.send_as(PartyId(1), PartyId(2), mpca_wire::to_bytes(&1_000_000u64));
+            }
+        }
+        let n = 4;
+        let corrupted: BTreeSet<PartyId> = [PartyId(0)].into_iter().collect();
+        let sim = Simulator::new(
+            n,
+            sum_parties(n, &corrupted),
+            Box::new(Spoofer {
+                corrupted: corrupted.clone(),
+            }),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        // The spoofed message is dropped by channel authentication, so honest
+        // parties agree on the honest sum 2 + 3 + 4 = 9.
+        assert_eq!(result.unanimous_output(), Some(&9));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        // Missing honest party 2.
+        let n = 3;
+        let parties = vec![
+            SumParty {
+                id: PartyId(0),
+                n,
+                value: 1,
+            },
+            SumParty {
+                id: PartyId(1),
+                n,
+                value: 2,
+            },
+        ];
+        assert!(matches!(
+            Simulator::all_honest(n, parties),
+            Err(NetError::InvalidConfig(_))
+        ));
+
+        // Party both honest and corrupted.
+        let parties = sum_parties(2, &BTreeSet::new());
+        assert!(matches!(
+            Simulator::new(
+                2,
+                parties,
+                Box::new(SilentAdversary::new([PartyId(0)])),
+                SimConfig::default()
+            ),
+            Err(NetError::InvalidConfig(_))
+        ));
+
+        // n = 0.
+        assert!(matches!(
+            Simulator::<SumParty>::new(
+                0,
+                vec![],
+                Box::new(NoAdversary::new()),
+                SimConfig::default()
+            ),
+            Err(NetError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        /// A party that never terminates.
+        struct Forever {
+            id: PartyId,
+        }
+        impl PartyLogic for Forever {
+            type Output = ();
+            fn id(&self) -> PartyId {
+                self.id
+            }
+            fn on_round(&mut self, _: usize, _: &[Envelope], _: &mut PartyCtx) -> Step<()> {
+                Step::Continue
+            }
+        }
+        let sim = Simulator::new(
+            1,
+            vec![Forever { id: PartyId(0) }],
+            Box::new(NoAdversary::new()),
+            SimConfig {
+                max_rounds: 5,
+                count_adversary_bytes: false,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(NetError::RoundLimitExceeded { max_rounds: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn adversary_bytes_not_counted_by_default() {
+        let n = 3;
+        let corrupted: BTreeSet<PartyId> = [PartyId(2)].into_iter().collect();
+        let adversary = FloodAdversary::new(corrupted.clone(), [PartyId(0)], 1_000);
+        let sim = Simulator::new(
+            n,
+            sum_parties(n, &corrupted),
+            Box::new(adversary),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let result = sim.run().unwrap();
+        // Honest parties send 2 messages of 8 bytes each; the 1000-byte junk
+        // is excluded from the accounting.
+        assert_eq!(result.stats.total_bytes(), 2 * 2 * 8);
+    }
+}

@@ -1,0 +1,205 @@
+//! Communication and locality accounting.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::party::PartyId;
+
+/// Per-execution accounting of bytes sent and peers contacted.
+///
+/// The paper (§3.1) defines the communication complexity of a protocol as the
+/// total number of bits sent by the parties *when all follow the protocol
+/// honestly* (worst case over executions), and the locality as the number of
+/// peers with which a party communicates. The experiment harness therefore
+/// measures all-honest executions for those headline numbers; in adversarial
+/// executions the honest-only aggregates remain available for sanity checks
+/// (e.g. flooding by the adversary must not inflate the reported complexity).
+#[derive(Debug, Clone, Default)]
+pub struct CommStats {
+    /// Bytes sent, per sender.
+    bytes_sent: BTreeMap<PartyId, u64>,
+    /// Messages sent, per sender.
+    messages_sent: BTreeMap<PartyId, u64>,
+    /// For each party, the peers it sent messages to.
+    sent_to: BTreeMap<PartyId, BTreeSet<PartyId>>,
+    /// For each party, the peers it received messages from.
+    received_from: BTreeMap<PartyId, BTreeSet<PartyId>>,
+    /// Number of rounds executed.
+    rounds: usize,
+}
+
+impl CommStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sent message of `bytes` bytes from `from` to `to`.
+    pub fn record_send(&mut self, from: PartyId, to: PartyId, bytes: usize) {
+        *self.bytes_sent.entry(from).or_default() += bytes as u64;
+        *self.messages_sent.entry(from).or_default() += 1;
+        self.sent_to.entry(from).or_default().insert(to);
+        self.received_from.entry(to).or_default().insert(from);
+    }
+
+    /// Sets the number of rounds executed.
+    pub fn set_rounds(&mut self, rounds: usize) {
+        self.rounds = rounds;
+    }
+
+    /// Number of rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total bytes sent by the given set of parties.
+    pub fn bytes_sent_by(&self, parties: &BTreeSet<PartyId>) -> u64 {
+        parties
+            .iter()
+            .map(|p| self.bytes_sent.get(p).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total bytes sent by everyone.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.values().sum()
+    }
+
+    /// Total bits sent by everyone (the paper's unit).
+    pub fn total_bits(&self) -> u64 {
+        self.total_bytes() * 8
+    }
+
+    /// Total messages sent by everyone.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent.values().sum()
+    }
+
+    /// Bytes sent by one party.
+    pub fn bytes_sent_by_party(&self, party: PartyId) -> u64 {
+        self.bytes_sent.get(&party).copied().unwrap_or(0)
+    }
+
+    /// The set of peers `party` communicated with (sent to or received from).
+    pub fn peers_of(&self, party: PartyId) -> BTreeSet<PartyId> {
+        let mut peers: BTreeSet<PartyId> = self
+            .sent_to
+            .get(&party)
+            .cloned()
+            .unwrap_or_default();
+        if let Some(received) = self.received_from.get(&party) {
+            peers.extend(received.iter().copied());
+        }
+        peers.remove(&party);
+        peers
+    }
+
+    /// The locality of the execution restricted to `parties`: the maximum,
+    /// over those parties, of the number of peers contacted.
+    pub fn max_locality(&self, parties: &BTreeSet<PartyId>) -> usize {
+        parties
+            .iter()
+            .map(|p| self.peers_of(*p).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The locality over all parties that appear in the statistics.
+    pub fn max_locality_all(&self) -> usize {
+        let mut all: BTreeSet<PartyId> = self.sent_to.keys().copied().collect();
+        all.extend(self.received_from.keys().copied());
+        self.max_locality(&all)
+    }
+
+    /// Average number of peers contacted over `parties`.
+    pub fn mean_locality(&self, parties: &BTreeSet<PartyId>) -> f64 {
+        if parties.is_empty() {
+            return 0.0;
+        }
+        let total: usize = parties.iter().map(|p| self.peers_of(*p).len()).sum();
+        total as f64 / parties.len() as f64
+    }
+
+    /// Merges another statistics object into this one (used when a protocol
+    /// is composed of sequentially executed sub-protocols).
+    pub fn merge(&mut self, other: &CommStats) {
+        for (party, bytes) in &other.bytes_sent {
+            *self.bytes_sent.entry(*party).or_default() += bytes;
+        }
+        for (party, msgs) in &other.messages_sent {
+            *self.messages_sent.entry(*party).or_default() += msgs;
+        }
+        for (party, peers) in &other.sent_to {
+            self.sent_to.entry(*party).or_default().extend(peers.iter().copied());
+        }
+        for (party, peers) in &other.received_from {
+            self.received_from
+                .entry(*party)
+                .or_default()
+                .extend(peers.iter().copied());
+        }
+        self.rounds += other.rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> BTreeSet<PartyId> {
+        ids.iter().map(|&i| PartyId(i)).collect()
+    }
+
+    #[test]
+    fn records_bytes_and_peers() {
+        let mut stats = CommStats::new();
+        stats.record_send(PartyId(0), PartyId(1), 10);
+        stats.record_send(PartyId(0), PartyId(2), 20);
+        stats.record_send(PartyId(1), PartyId(0), 5);
+        assert_eq!(stats.total_bytes(), 35);
+        assert_eq!(stats.total_bits(), 280);
+        assert_eq!(stats.total_messages(), 3);
+        assert_eq!(stats.bytes_sent_by_party(PartyId(0)), 30);
+        assert_eq!(stats.bytes_sent_by(&set(&[0, 1])), 35);
+        assert_eq!(stats.bytes_sent_by(&set(&[1])), 5);
+        assert_eq!(stats.peers_of(PartyId(0)), set(&[1, 2]));
+        assert_eq!(stats.peers_of(PartyId(2)), set(&[0]));
+    }
+
+    #[test]
+    fn locality_metrics() {
+        let mut stats = CommStats::new();
+        // P0 talks to 1, 2, 3; P1 talks to 0 only; P2 and P3 only receive.
+        for to in 1..4 {
+            stats.record_send(PartyId(0), PartyId(to), 1);
+        }
+        stats.record_send(PartyId(1), PartyId(0), 1);
+        assert_eq!(stats.max_locality(&set(&[0, 1, 2, 3])), 3);
+        assert_eq!(stats.max_locality(&set(&[2, 3])), 1);
+        assert_eq!(stats.max_locality_all(), 3);
+        assert!((stats.mean_locality(&set(&[0, 1, 2, 3])) - 1.5).abs() < 1e-9);
+        assert_eq!(stats.mean_locality(&BTreeSet::new()), 0.0);
+    }
+
+    #[test]
+    fn self_sends_do_not_count_as_peers() {
+        let mut stats = CommStats::new();
+        stats.record_send(PartyId(3), PartyId(3), 100);
+        assert_eq!(stats.peers_of(PartyId(3)), BTreeSet::new());
+        assert_eq!(stats.total_bytes(), 100);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::new();
+        a.record_send(PartyId(0), PartyId(1), 10);
+        a.set_rounds(2);
+        let mut b = CommStats::new();
+        b.record_send(PartyId(0), PartyId(2), 7);
+        b.record_send(PartyId(1), PartyId(0), 3);
+        b.set_rounds(5);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 20);
+        assert_eq!(a.peers_of(PartyId(0)), set(&[1, 2]));
+        assert_eq!(a.rounds(), 7);
+    }
+}

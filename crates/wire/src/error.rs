@@ -1,0 +1,102 @@
+//! Error type for wire (de)serialisation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while decoding a wire-encoded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The reader ran out of bytes while more were expected.
+    UnexpectedEof {
+        /// Number of bytes requested.
+        needed: usize,
+        /// Number of bytes remaining.
+        remaining: usize,
+    },
+    /// A varint was malformed (too long or non-canonical).
+    InvalidVarint,
+    /// A length prefix exceeded the configured or sane maximum.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An enum discriminant did not correspond to a known variant.
+    InvalidDiscriminant {
+        /// Name of the type being decoded.
+        ty: &'static str,
+        /// The offending discriminant value.
+        value: u64,
+    },
+    /// A UTF-8 string contained invalid bytes.
+    InvalidUtf8,
+    /// Bytes remained in the reader after decoding completed.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// A domain-specific validity check failed while decoding.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::InvalidVarint => write!(f, "invalid varint encoding"),
+            WireError::LengthOverflow { declared } => {
+                write!(f, "declared length {declared} exceeds limit")
+            }
+            WireError::InvalidBool(b) => write!(f, "invalid boolean byte {b}"),
+            WireError::InvalidDiscriminant { ty, value } => {
+                write!(f, "invalid discriminant {value} for {ty}")
+            }
+            WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+            WireError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errs = [
+            WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            WireError::InvalidVarint,
+            WireError::LengthOverflow { declared: 1 << 40 },
+            WireError::InvalidBool(7),
+            WireError::InvalidDiscriminant {
+                ty: "Foo",
+                value: 9,
+            },
+            WireError::InvalidUtf8,
+            WireError::TrailingBytes { remaining: 3 },
+            WireError::Invalid("negative length"),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

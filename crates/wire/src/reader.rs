@@ -1,0 +1,208 @@
+//! Cursor-style byte reader used by [`Decode`](crate::Decode) implementations.
+
+use crate::varint::decode_uvarint;
+use crate::WireError;
+
+/// Maximum length accepted for a single length-prefixed field (64 MiB).
+///
+/// This is a safety valve against maliciously declared lengths; no honest
+/// protocol message in this repository comes anywhere near it.
+pub const MAX_FIELD_LEN: u64 = 64 * 1024 * 1024;
+
+/// A cursor over a byte slice with checked reads.
+///
+/// ```
+/// let bytes = [7u8, 0, 0, 0];
+/// let mut r = mpca_wire::Reader::new(&bytes);
+/// assert_eq!(r.get_u32().unwrap(), 7);
+/// assert!(r.finish().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Returns `true` if all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Asserts that the reader has been fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] when unread bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    /// Returns [`WireError::UnexpectedEof`] if no bytes remain.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 2 bytes remain.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Errors
+    /// Returns [`WireError::UnexpectedEof`] if fewer than 16 bytes remain.
+    pub fn get_u128(&mut self) -> Result<u128, WireError> {
+        let b = self.take(16)?;
+        let mut arr = [0u8; 16];
+        arr.copy_from_slice(b);
+        Ok(u128::from_le_bytes(arr))
+    }
+
+    /// Reads a varint-encoded `u64`.
+    ///
+    /// # Errors
+    /// Returns [`WireError::InvalidVarint`] or [`WireError::UnexpectedEof`] on
+    /// malformed input.
+    pub fn get_uvarint(&mut self) -> Result<u64, WireError> {
+        let (value, used) = decode_uvarint(&self.bytes[self.pos..])?;
+        self.pos += used;
+        Ok(value)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    /// Returns [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a varint length prefix followed by that many bytes.
+    ///
+    /// # Errors
+    /// Returns [`WireError::LengthOverflow`] if the declared length exceeds
+    /// [`MAX_FIELD_LEN`], plus any error of [`Reader::get_uvarint`] /
+    /// [`Reader::get_bytes`].
+    pub fn get_len_prefixed(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_uvarint()?;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOverflow { declared: len });
+        }
+        self.get_bytes(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads() {
+        let mut w = crate::Writer::new();
+        w.put_u8(1);
+        w.put_u16(2);
+        w.put_u32(3);
+        w.put_u64(4);
+        w.put_u128(5);
+        w.put_uvarint(300);
+        w.put_len_prefixed(b"xyz");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u16().unwrap(), 2);
+        assert_eq!(r.get_u32().unwrap(), 3);
+        assert_eq!(r.get_u64().unwrap(), 4);
+        assert_eq!(r.get_u128().unwrap(), 5);
+        assert_eq!(r.get_uvarint().unwrap(), 300);
+        assert_eq!(r.get_len_prefixed().unwrap(), b"xyz");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_is_reported_with_counts() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.get_u32().unwrap_err();
+        assert_eq!(
+            err,
+            WireError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut w = crate::Writer::new();
+        w.put_uvarint(MAX_FIELD_LEN + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_len_prefixed(),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_reports_trailing() {
+        let r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { remaining: 3 }));
+    }
+}

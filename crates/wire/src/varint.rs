@@ -1,0 +1,154 @@
+//! LEB128-style unsigned varint encoding.
+//!
+//! Lengths, party identifiers and small counters are encoded as varints so
+//! that protocol messages for small networks stay small: this matters because
+//! the experiments measure absolute byte counts across sweeps of `n`.
+
+use crate::WireError;
+
+/// Maximum number of bytes a `u64` varint may occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the varint encoding of `value` to `out` and returns the number of
+/// bytes written.
+///
+/// ```
+/// let mut buf = Vec::new();
+/// assert_eq!(mpca_wire::encode_uvarint(300, &mut buf), 2);
+/// assert_eq!(buf, vec![0xAC, 0x02]);
+/// ```
+pub fn encode_uvarint(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut written = 0;
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        written += 1;
+        if value == 0 {
+            out.push(byte);
+            return written;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from the front of `bytes`, returning the value and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError::InvalidVarint`] if the encoding is longer than
+/// [`MAX_VARINT_LEN`] bytes or non-canonical, and
+/// [`WireError::UnexpectedEof`] if the slice ends mid-varint.
+///
+/// ```
+/// let (v, used) = mpca_wire::decode_uvarint(&[0xAC, 0x02, 0xFF]).unwrap();
+/// assert_eq!((v, used), (300, 2));
+/// ```
+pub fn decode_uvarint(bytes: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in bytes.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(WireError::InvalidVarint);
+        }
+        let chunk = u64::from(byte & 0x7F);
+        // The 10th byte may only contribute a single bit.
+        if shift == 63 && chunk > 1 {
+            return Err(WireError::InvalidVarint);
+        }
+        value |= chunk << shift;
+        if byte & 0x80 == 0 {
+            // Reject non-canonical encodings such as [0x80, 0x00].
+            if byte == 0 && i > 0 {
+                return Err(WireError::InvalidVarint);
+            }
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(WireError::UnexpectedEof {
+        needed: 1,
+        remaining: 0,
+    })
+}
+
+/// Returns the number of bytes the varint encoding of `value` occupies.
+///
+/// ```
+/// assert_eq!(mpca_wire::uvarint_len(0), 1);
+/// assert_eq!(mpca_wire::uvarint_len(127), 1);
+/// assert_eq!(mpca_wire::uvarint_len(128), 2);
+/// assert_eq!(mpca_wire::uvarint_len(u64::MAX), 10);
+/// ```
+pub fn uvarint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7F]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xAC, 0x02]),
+            (16_384, &[0x80, 0x80, 0x01]),
+        ];
+        for (value, expected) in cases {
+            let mut buf = Vec::new();
+            encode_uvarint(*value, &mut buf);
+            assert_eq!(&buf, expected, "encoding of {value}");
+            let (decoded, used) = decode_uvarint(&buf).unwrap();
+            assert_eq!(decoded, *value);
+            assert_eq!(used, expected.len());
+        }
+    }
+
+    #[test]
+    fn round_trip_extremes() {
+        for value in [u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1] {
+            let mut buf = Vec::new();
+            let written = encode_uvarint(value, &mut buf);
+            assert_eq!(written, uvarint_len(value));
+            let (decoded, used) = decode_uvarint(&buf).unwrap();
+            assert_eq!(decoded, value);
+            assert_eq!(used, written);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert!(matches!(
+            decode_uvarint(&[0x80]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(decode_uvarint(&[]), Err(WireError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        // 11 continuation bytes is never valid.
+        let bytes = [0xFFu8; 11];
+        assert_eq!(decode_uvarint(&bytes), Err(WireError::InvalidVarint));
+        // Non-canonical zero continuation.
+        assert_eq!(decode_uvarint(&[0x80, 0x00]), Err(WireError::InvalidVarint));
+    }
+
+    #[test]
+    fn uvarint_len_matches_encoding() {
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let mut buf = Vec::new();
+            encode_uvarint(v, &mut buf);
+            assert_eq!(buf.len(), uvarint_len(v), "value {v}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Append-only byte writer used by [`Encode`](crate::Encode) implementations.
+
+use crate::varint::encode_uvarint;
+
+/// An append-only buffer that values encode themselves into.
+///
+/// ```
+/// let mut w = mpca_wire::Writer::new();
+/// w.put_u32(7);
+/// w.put_bytes(b"ab");
+/// assert_eq!(w.len(), 6);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a varint-encoded `u64`.
+    pub fn put_uvarint(&mut self, v: u64) {
+        encode_uvarint(v, &mut self.buf);
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a varint length prefix followed by the bytes.
+    pub fn put_len_prefixed(&mut self, bytes: &[u8]) {
+        self.put_uvarint(bytes.len() as u64);
+        self.put_bytes(bytes);
+    }
+
+    /// Consumes the writer and returns the underlying byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Writer> for Vec<u8> {
+    fn from(w: Writer) -> Self {
+        w.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_little_endian_and_in_order() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x0102);
+        w.put_u32(0x03040506);
+        w.put_u64(0x0708090A0B0C0D0E);
+        assert_eq!(
+            w.as_bytes(),
+            &[
+                0xAB, 0x02, 0x01, 0x06, 0x05, 0x04, 0x03, 0x0E, 0x0D, 0x0C, 0x0B, 0x0A, 0x09,
+                0x08, 0x07
+            ]
+        );
+    }
+
+    #[test]
+    fn len_prefixed_bytes() {
+        let mut w = Writer::new();
+        w.put_len_prefixed(b"abc");
+        assert_eq!(w.as_bytes(), &[3, b'a', b'b', b'c']);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = Writer::new();
+        let mut b = Writer::with_capacity(64);
+        a.put_u128(5);
+        b.put_u128(5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: every encodable value round-trips and its reported
+//! `encoded_len` matches the actual encoding length.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpca_wire::{encoded_len, from_bytes, to_bytes, Decode, Encode};
+use proptest::prelude::*;
+
+fn check_round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = to_bytes(value);
+    assert_eq!(bytes.len(), encoded_len(value));
+    let back: T = from_bytes(&bytes).expect("decode");
+    assert_eq!(&back, value);
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trip(v in any::<u64>()) {
+        check_round_trip(&v);
+    }
+
+    #[test]
+    fn u128_round_trip(v in any::<u128>()) {
+        check_round_trip(&v);
+    }
+
+    #[test]
+    fn usize_varint_round_trip(v in any::<usize>()) {
+        check_round_trip(&v);
+    }
+
+    #[test]
+    fn bytes_round_trip(v in proptest::collection::vec(any::<u8>(), 0..512)) {
+        check_round_trip(&v);
+    }
+
+    #[test]
+    fn string_round_trip(s in ".{0,64}") {
+        check_round_trip(&s.to_string());
+    }
+
+    #[test]
+    fn nested_round_trip(
+        v in proptest::collection::vec((any::<u32>(), proptest::collection::vec(any::<u8>(), 0..16)), 0..32)
+    ) {
+        check_round_trip(&v);
+    }
+
+    #[test]
+    fn option_round_trip(v in proptest::option::of(any::<u64>())) {
+        check_round_trip(&v);
+    }
+
+    #[test]
+    fn map_round_trip(m in proptest::collection::btree_map(any::<u32>(), any::<u64>(), 0..32)) {
+        check_round_trip::<BTreeMap<u32, u64>>(&m);
+    }
+
+    #[test]
+    fn set_round_trip(s in proptest::collection::btree_set(any::<u16>(), 0..64)) {
+        check_round_trip::<BTreeSet<u16>>(&s);
+    }
+
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        let written = mpca_wire::encode_uvarint(v, &mut buf);
+        prop_assert_eq!(written, mpca_wire::uvarint_len(v));
+        let (decoded, used) = mpca_wire::decode_uvarint(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, written);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must never panic, only return Ok or Err.
+        let _ = from_bytes::<Vec<u64>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<(u32, Vec<u8>, bool)>(&bytes);
+        let _ = from_bytes::<BTreeMap<u64, Vec<u8>>>(&bytes);
+    }
+}
