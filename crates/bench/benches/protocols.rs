@@ -21,7 +21,9 @@ fn sum_params(n: usize, h: usize) -> ProtocolParams {
 }
 
 fn sum_inputs(n: usize) -> Vec<Vec<u8>> {
-    (0..n as u16).map(|i| (i * 23 + 7).to_le_bytes().to_vec()).collect()
+    (0..n as u16)
+        .map(|i| (i * 23 + 7).to_le_bytes().to_vec())
+        .collect()
 }
 
 fn bench_theorem1(c: &mut Criterion) {
@@ -120,10 +122,13 @@ fn bench_all_to_all(c: &mut Criterion) {
         let naive_inputs = inputs.clone();
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
             b.iter(|| {
-                Simulator::all_honest(n, all_to_all::naive_parties(&naive_inputs, &BTreeSet::new()))
-                    .unwrap()
-                    .run()
-                    .unwrap()
+                Simulator::all_honest(
+                    n,
+                    all_to_all::naive_parties(&naive_inputs, &BTreeSet::new()),
+                )
+                .unwrap()
+                .run()
+                .unwrap()
             });
         });
         let succinct_inputs = inputs.clone();
@@ -131,7 +136,12 @@ fn bench_all_to_all(c: &mut Criterion) {
             b.iter(|| {
                 Simulator::all_honest(
                     n,
-                    all_to_all::succinct_parties(&succinct_inputs, 24, b"bench-a2a", &BTreeSet::new()),
+                    all_to_all::succinct_parties(
+                        &succinct_inputs,
+                        24,
+                        b"bench-a2a",
+                        &BTreeSet::new(),
+                    ),
                 )
                 .unwrap()
                 .run()

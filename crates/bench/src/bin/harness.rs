@@ -1,14 +1,87 @@
-//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//! The experiment harness: regenerates the paper's quantitative tables
+//! (index in `DESIGN.md` §4) and writes a machine-readable
+//! `BENCH_results.json` so the performance trajectory (bytes, rounds,
+//! wall-clock, throughput) is trackable across PRs.
 //!
 //! Usage:
 //!   cargo run -p mpca-bench --release --bin harness            # run everything
 //!   cargo run -p mpca-bench --release --bin harness -- E1-comm-thm1 E4-lower-bound
 //!   cargo run -p mpca-bench --release --bin harness -- --list
+//!   cargo run -p mpca-bench --release --bin harness -- --json out.json E13-engine-sweep
 
-use mpca_bench::all_experiments;
+use std::time::Instant;
+
+use mpca_bench::{all_experiments, Table};
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// One experiment's run record for the JSON report.
+struct Record {
+    table: Table,
+    wall_ms: u128,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .table
+            .rows
+            .iter()
+            .map(|row| json_string_array(row))
+            .collect();
+        format!(
+            "{{\"id\":\"{}\",\"caption\":\"{}\",\"wall_ms\":{},\"headers\":{},\"rows\":[{}]}}",
+            json_escape(&self.table.id),
+            json_escape(&self.table.caption),
+            self.wall_ms,
+            json_string_array(&self.table.headers),
+            rows.join(","),
+        )
+    }
+}
+
+fn write_json(path: &str, records: &[Record]) {
+    let total_wall: u128 = records.iter().map(|r| r.wall_ms).sum();
+    let body: Vec<String> = records.iter().map(Record::to_json).collect();
+    let document = format!(
+        "{{\"schema\":\"mpc-aborts/bench-results/v1\",\"total_wall_ms\":{},\"experiments\":[{}]}}\n",
+        total_wall,
+        body.join(","),
+    );
+    match std::fs::write(path, document) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let registry = all_experiments();
 
     if args.iter().any(|a| a == "--list") {
@@ -18,24 +91,54 @@ fn main() {
         return;
     }
 
-    let selected: Vec<&(&str, fn() -> mpca_bench::Table)> =
-        if args.is_empty() || args.iter().any(|a| a == "all") {
-            registry.iter().collect()
-        } else {
-            registry
-                .iter()
-                .filter(|(id, _)| args.iter().any(|a| a == id))
-                .collect()
-        };
+    let explicit_json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) => {
+            args.remove(pos);
+            if pos < args.len() {
+                Some(args.remove(pos))
+            } else {
+                eprintln!("--json requires a path argument");
+                std::process::exit(1);
+            }
+        }
+        None => None,
+    };
+
+    let full_run = args.is_empty() || args.iter().any(|a| a == "all");
+    let selected: Vec<&mpca_bench::Experiment> = if full_run {
+        registry.iter().collect()
+    } else {
+        registry
+            .iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect()
+    };
+
+    // Subset runs only write JSON when a path was given explicitly, so a
+    // spot-check of one experiment never clobbers the full-results file
+    // tracking the cross-PR trajectory.
+    let json_path = match (explicit_json_path, full_run) {
+        (Some(path), _) => Some(path),
+        (None, true) => Some("BENCH_results.json".to_string()),
+        (None, false) => None,
+    };
 
     if selected.is_empty() {
         eprintln!("no matching experiments; use --list to see the available ids");
         std::process::exit(1);
     }
 
+    let mut records = Vec::with_capacity(selected.len());
     for (id, run) in selected {
         eprintln!("running {id} ...");
+        let start = Instant::now();
         let table = run();
+        let wall_ms = start.elapsed().as_millis();
         println!("{}", table.render());
+        records.push(Record { table, wall_ms });
+    }
+    match json_path {
+        Some(path) => write_json(&path, &records),
+        None => eprintln!("subset run: pass --json <path> to write machine-readable results"),
     }
 }

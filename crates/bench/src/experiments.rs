@@ -1,17 +1,19 @@
 //! The experiment suite. Every function regenerates one row-set of the
-//! paper's quantitative claims; DESIGN.md §4 maps experiment ids to the
-//! theorems/claims they reproduce and EXPERIMENTS.md records the outcomes.
+//! paper's quantitative claims; `DESIGN.md` §4 at the repository root maps
+//! experiment ids to the theorems/claims they reproduce, and the harness
+//! binary records the outcomes in `BENCH_results.json`.
 
 use std::collections::BTreeSet;
 
-use mpca_crypto::lwe::LweParams;
-use mpca_crypto::Prg;
-use mpca_encfunc::spec::{Functionality, MultiOutputFunctionality};
-use mpca_net::{CommonRandomString, PartyId, RunResult, SilentAdversary, SimConfig, Simulator};
 use mpca_core::{
     all_to_all, committee, equality, gossip, local_committee, local_mpc, lower_bound, mpc,
     multi_output, sparse, tradeoff, ExecutionPath, ProtocolParams,
 };
+use mpca_crypto::lwe::LweParams;
+use mpca_crypto::Prg;
+use mpca_encfunc::spec::{Functionality, MultiOutputFunctionality};
+use mpca_engine::{Sequential, SessionPool};
+use mpca_net::{CommonRandomString, PartyId, RunResult, SilentAdversary, SimConfig, Simulator};
 
 use crate::table::Table;
 
@@ -44,7 +46,11 @@ fn run_theorem1(n: usize, h: usize, label: &str) -> RunResult<Vec<u8>> {
         &BTreeSet::new(),
     );
     let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
-    assert_eq!(result.unanimous_output(), Some(&expected), "Theorem 1 run must be correct");
+    assert_eq!(
+        result.unanimous_output(),
+        Some(&expected),
+        "Theorem 1 run must be correct"
+    );
     result
 }
 
@@ -53,9 +59,14 @@ fn run_theorem2(n: usize, h: usize, label: &str) -> RunResult<Vec<u8>> {
     let functionality = Functionality::Sum { input_bytes: 2 };
     let (inputs, expected) = sum_inputs(n);
     let crs = CommonRandomString::from_label(label.as_bytes());
-    let parties = local_mpc::local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
+    let parties =
+        local_mpc::local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
     let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
-    assert_eq!(result.unanimous_output(), Some(&expected), "Theorem 2 run must be correct");
+    assert_eq!(
+        result.unanimous_output(),
+        Some(&expected),
+        "Theorem 2 run must be correct"
+    );
     result
 }
 
@@ -74,7 +85,11 @@ fn run_theorem4(n: usize, h: usize, label: &str) -> RunResult<Vec<u8>> {
         &BTreeSet::new(),
     );
     let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
-    assert_eq!(result.unanimous_output(), Some(&expected), "Theorem 4 run must be correct");
+    assert_eq!(
+        result.unanimous_output(),
+        Some(&expected),
+        "Theorem 4 run must be correct"
+    );
     result
 }
 
@@ -85,7 +100,15 @@ pub fn exp_theorem1() -> Table {
         "Theorem 1 (Algorithm 3): honest communication vs n and h; the paper predicts Õ(n²/h).",
         &["n", "h", "bits", "bits·h/n² (≈const)", "locality", "rounds"],
     );
-    for (n, h) in [(32, 8), (64, 8), (64, 16), (64, 32), (64, 64), (96, 24), (128, 32)] {
+    for (n, h) in [
+        (32, 8),
+        (64, 8),
+        (64, 16),
+        (64, 32),
+        (64, 64),
+        (96, 24),
+        (128, 32),
+    ] {
         let result = run_theorem1(n, h, &format!("e1-{n}-{h}"));
         let bits = result.honest_bits();
         let normalised = bits as f64 * h as f64 / (n * n) as f64;
@@ -160,13 +183,22 @@ pub fn exp_lower_bound() -> Table {
     let (n, h, trials) = (64usize, 8usize, 80usize);
     let threshold = lower_bound::locality_threshold(n, h);
     for budget in [1usize, 2, 4, 8, 16, 32, 48] {
-        let (isolation, violation) =
-            lower_bound::isolation_attack_rate(n, h, budget, trials, format!("e4-{budget}").as_bytes());
+        let (isolation, violation) = lower_bound::isolation_attack_rate(
+            n,
+            h,
+            budget,
+            trials,
+            format!("e4-{budget}").as_bytes(),
+        );
         table.push_row(vec![
             budget.to_string(),
             format!("{isolation:.2}"),
             format!("{violation:.2}"),
-            if (budget as f64) < threshold { "below".into() } else { "above".into() },
+            if (budget as f64) < threshold {
+                "below".into()
+            } else {
+                "above".into()
+            },
         ]);
     }
     table
@@ -188,7 +220,12 @@ pub fn exp_baseline() -> Table {
             .unwrap();
         let succinct = Simulator::all_honest(
             n,
-            all_to_all::succinct_parties(&inputs, 24, format!("e5-{n}").as_bytes(), &BTreeSet::new()),
+            all_to_all::succinct_parties(
+                &inputs,
+                24,
+                format!("e5-{n}").as_bytes(),
+                &BTreeSet::new(),
+            ),
         )
         .unwrap()
         .run()
@@ -198,7 +235,10 @@ pub fn exp_baseline() -> Table {
             n.to_string(),
             naive.honest_bits().to_string(),
             succinct.honest_bits().to_string(),
-            format!("{:.1}x", naive.honest_bits() as f64 / succinct.honest_bits() as f64),
+            format!(
+                "{:.1}x",
+                naive.honest_bits() as f64 / succinct.honest_bits() as f64
+            ),
         ]);
     }
     table
@@ -277,9 +317,14 @@ pub fn exp_committee() -> Table {
     let n = 128;
     for h in [8usize, 16, 32, 64, 128] {
         let params = ProtocolParams::new(n, h);
-        let parties = committee::committee_parties(&params, format!("e7-{h}").as_bytes(), &BTreeSet::new());
+        let parties =
+            committee::committee_parties(&params, format!("e7-{h}").as_bytes(), &BTreeSet::new());
         let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
-        let views: Vec<_> = result.outcomes.values().filter_map(|o| o.output()).collect();
+        let views: Vec<_> = result
+            .outcomes
+            .values()
+            .filter_map(|o| o.output())
+            .collect();
         let agreed = views.windows(2).all(|w| w[0].committee == w[1].committee);
         let size = views.first().map(|v| v.committee.len()).unwrap_or(0);
         let expected = params.election_probability() * n as f64;
@@ -301,12 +346,20 @@ pub fn exp_sparse() -> Table {
     let mut table = Table::new(
         "E8-sparse-graph",
         "Algorithm 5 + 6: routing degree, honest-subgraph connectivity and gossip cost (n = 96).",
-        &["n", "h", "max degree", "degree bound", "connected", "gossip bits"],
+        &[
+            "n",
+            "h",
+            "max degree",
+            "degree bound",
+            "connected",
+            "gossip bits",
+        ],
     );
     let n = 96;
     for h in [16usize, 32, 48, 96] {
         let params = ProtocolParams::new(n, h);
-        let parties = sparse::sparse_parties(&params, format!("e8-{h}").as_bytes(), &BTreeSet::new());
+        let parties =
+            sparse::sparse_parties(&params, format!("e8-{h}").as_bytes(), &BTreeSet::new());
         let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
         let graph: std::collections::BTreeMap<PartyId, BTreeSet<PartyId>> = result
             .outcomes
@@ -318,10 +371,18 @@ pub fn exp_sparse() -> Table {
         let gossip_parties: Vec<gossip::GossipParty> = graph
             .iter()
             .map(|(id, neighbors)| {
-                gossip::GossipParty::new(*id, neighbors.clone(), Some(vec![id.index() as u8; 8]), params.gossip_rounds())
+                gossip::GossipParty::new(
+                    *id,
+                    neighbors.clone(),
+                    Some(vec![id.index() as u8; 8]),
+                    params.gossip_rounds(),
+                )
             })
             .collect();
-        let gossip_result = Simulator::all_honest(n, gossip_parties).unwrap().run().unwrap();
+        let gossip_result = Simulator::all_honest(n, gossip_parties)
+            .unwrap()
+            .run()
+            .unwrap();
         table.push_row(vec![
             n.to_string(),
             h.to_string(),
@@ -347,8 +408,14 @@ pub fn exp_covering() -> Table {
         let crs = CommonRandomString::from_label(format!("e9-{h}").as_bytes());
         let parties = local_committee::local_committee_parties(&params, crs, &BTreeSet::new());
         let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
-        let views: Vec<_> = result.outcomes.values().filter_map(|o| o.output()).collect();
-        let agreed = views.windows(2).all(|w| w[0].view.committee == w[1].view.committee);
+        let views: Vec<_> = result
+            .outcomes
+            .values()
+            .filter_map(|o| o.output())
+            .collect();
+        let agreed = views
+            .windows(2)
+            .all(|w| w[0].view.committee == w[1].view.committee);
         let size = views.first().map(|v| v.view.committee.len()).unwrap_or(0);
         let expected = params.local_election_probability() * n as f64;
         table.push_row(vec![
@@ -446,7 +513,9 @@ pub fn exp_adversary() -> Table {
         .iter()
         .enumerate()
         .filter(|(i, _)| !corrupted.contains(&PartyId(*i)))
-        .fold(0u16, |a, (_, v)| a.wrapping_add(u16::from_le_bytes([v[0], v[1]])));
+        .fold(0u16, |a, (_, v)| {
+            a.wrapping_add(u16::from_le_bytes([v[0], v[1]]))
+        });
     let expected = honest_total.to_le_bytes().to_vec();
 
     // Theorem 1 under a silent adversary.
@@ -485,7 +554,11 @@ pub fn exp_adversary() -> Table {
     .unwrap();
 
     for (label, result) in [("Theorem 1 (Alg. 3)", r1), ("Theorem 2 (gossip)", r2)] {
-        let outputs: Vec<_> = result.outcomes.values().filter_map(|o| o.output()).collect();
+        let outputs: Vec<_> = result
+            .outcomes
+            .values()
+            .filter_map(|o| o.output())
+            .collect();
         let agree = outputs.windows(2).all(|w| w[0] == w[1]);
         table.push_row(vec![
             label.to_string(),
@@ -497,8 +570,102 @@ pub fn exp_adversary() -> Table {
     table
 }
 
+/// `E13-engine-sweep` — the `mpca-engine` session pool: the Theorem 1 / 2 /
+/// 4 protocols across a parameter grid in **one pooled batch**, instead of
+/// one slow sequential run per configuration.
+///
+/// The pool's workers provide the parallelism here (one session per
+/// worker); each session runs on the `Sequential` backend because these
+/// networks are small — per-round thread fan-out costs more than the party
+/// work and would oversubscribe workers × threads, skewing the throughput
+/// numbers this experiment exists to track. The `Parallel` backend's
+/// equivalence is covered by `tests/engine_batch.rs`.
+pub fn exp_engine_sweep() -> Table {
+    let mut table = Table::new(
+        "E13-engine-sweep",
+        "SessionPool batch (pooled workers, sequential per-session backend): Theorems 1, 2 and 4 \
+         over an (n, h) grid in one batch; per-session bits/rounds plus batch throughput.",
+        &["session", "n", "h", "bits", "rounds", "aborts"],
+    );
+    let mut pool = SessionPool::new(Sequential);
+    let grid = [(24usize, 8usize), (24, 12), (32, 16), (48, 24)];
+    // Sessions come back in submission order: 3 protocols per grid point.
+    let session_params: Vec<(usize, usize)> = grid
+        .iter()
+        .flat_map(|&nh| std::iter::repeat_n(nh, 3))
+        .collect();
+    for &(n, h) in &grid {
+        let params = sum_params(n, h);
+        let functionality = Functionality::Sum { input_bytes: 2 };
+        let (inputs, _) = sum_inputs(n);
+
+        let (p, f, i) = (params, functionality.clone(), inputs.clone());
+        pool.submit(format!("thm1-n{n}-h{h}"), move || {
+            let crs = CommonRandomString::from_label(format!("e13-1-{n}-{h}").as_bytes());
+            let parties = mpc::mpc_parties(
+                &p,
+                &f,
+                ExecutionPath::Concrete,
+                &i,
+                crs,
+                None,
+                &BTreeSet::new(),
+            );
+            Simulator::all_honest(n, parties)
+        });
+
+        let (p, f, i) = (params, functionality.clone(), inputs.clone());
+        pool.submit(format!("thm2-n{n}-h{h}"), move || {
+            let crs = CommonRandomString::from_label(format!("e13-2-{n}-{h}").as_bytes());
+            let parties = local_mpc::local_mpc_parties(&p, &f, &i, crs, &BTreeSet::new());
+            Simulator::all_honest(n, parties)
+        });
+
+        pool.submit(format!("thm4-n{n}-h{h}"), move || {
+            let crs = CommonRandomString::from_label(format!("e13-4-{n}-{h}").as_bytes());
+            let parties = tradeoff::tradeoff_parties(
+                &params,
+                &functionality,
+                ExecutionPath::Concrete,
+                &inputs,
+                crs,
+                None,
+                &BTreeSet::new(),
+            );
+            Simulator::all_honest(n, parties)
+        });
+    }
+    let batch = pool.run().expect("engine sweep batch");
+    for (session, &(n, h)) in batch.sessions.iter().zip(&session_params) {
+        table.push_row(vec![
+            session.label.clone(),
+            n.to_string(),
+            h.to_string(),
+            (session.total_bytes() * 8).to_string(),
+            session.rounds.to_string(),
+            session.any_abort().to_string(),
+        ]);
+    }
+    table.push_row(vec![
+        "TOTAL".into(),
+        String::new(),
+        String::new(),
+        (batch.total_bytes() * 8).to_string(),
+        batch.total_rounds().to_string(),
+        format!(
+            "{:.1} sessions/s, {:.0} rounds/s",
+            batch.sessions_per_sec(),
+            batch.rounds_per_sec()
+        ),
+    ]);
+    table
+}
+
+/// An experiment entry: its id and the function regenerating its table.
+pub type Experiment = (&'static str, fn() -> Table);
+
 /// All experiments in DESIGN.md order.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("E1-comm-thm1", exp_theorem1 as fn() -> Table),
         ("E2-locality-thm2", exp_theorem2),
@@ -512,6 +679,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
         ("E10-multi-output", exp_multi_output),
         ("E11-crossover", exp_crossover),
         ("E12-adversary", exp_adversary),
+        ("E13-engine-sweep", exp_engine_sweep),
     ]
 }
 
@@ -544,6 +712,17 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 12);
+        assert_eq!(all_experiments().len(), 13);
+    }
+
+    #[test]
+    fn engine_sweep_runs_every_session_without_aborts() {
+        let table = exp_engine_sweep();
+        // 4 grid points × 3 protocols + the TOTAL row.
+        assert_eq!(table.rows.len(), 13);
+        for row in &table.rows[..12] {
+            assert_eq!(row[5], "false", "no honest party may abort: {row:?}");
+        }
+        assert_eq!(table.rows[12][0], "TOTAL");
     }
 }

@@ -1,9 +1,10 @@
 //! # mpca-bench
 //!
 //! The experiment harness that regenerates every quantitative claim of the
-//! paper (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-//! paper-vs-measured results). Each `exp_*` function returns a printable
-//! table; the `harness` binary selects and prints them.
+//! paper (see `DESIGN.md` §4 at the repository root for the experiment
+//! index). Each `exp_*` function returns a printable table; the `harness`
+//! binary selects and prints them, and writes a machine-readable
+//! `BENCH_results.json` for tracking results across PRs.
 
 #![forbid(unsafe_code)]
 

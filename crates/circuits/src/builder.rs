@@ -376,7 +376,10 @@ mod tests {
         let c = b.constant_bus(0b1011, 4);
         b.output_bus(&c);
         let circuit = b.finish().unwrap();
-        assert_eq!(circuit.evaluate(&[]).unwrap(), vec![true, true, false, true]);
+        assert_eq!(
+            circuit.evaluate(&[]).unwrap(),
+            vec![true, true, false, true]
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "gate {gate} references a later gate")
             }
             CircuitError::InputOutOfRange { index, input_bits } => {
-                write!(f, "input index {index} out of range (circuit has {input_bits} input bits)")
+                write!(
+                    f,
+                    "input index {index} out of range (circuit has {input_bits} input bits)"
+                )
             }
             CircuitError::BadOutput { gate } => write!(f, "output references missing gate {gate}"),
             CircuitError::WrongInputLength { got, expected } => {
@@ -148,7 +151,10 @@ impl Circuit {
 
     /// Number of AND gates (the multiplicative size).
     pub fn and_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::And(_, _))).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And(_, _)))
+            .count()
     }
 
     /// Total circuit depth, counting every gate as depth 1.
@@ -304,7 +310,10 @@ mod tests {
         let circuit = xor_and_circuit();
         assert!(matches!(
             circuit.evaluate(&[true]),
-            Err(CircuitError::WrongInputLength { got: 1, expected: 2 })
+            Err(CircuitError::WrongInputLength {
+                got: 1,
+                expected: 2
+            })
         ));
     }
 

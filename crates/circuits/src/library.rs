@@ -111,7 +111,10 @@ pub fn all_equal(parties: usize, width: usize) -> Circuit {
 /// bits are set (a generalisation of [`majority`]).
 pub fn threshold_vote(parties: usize, threshold: usize) -> Circuit {
     assert!(parties >= 1, "need at least one party");
-    assert!(threshold >= 1 && threshold <= parties, "threshold out of range");
+    assert!(
+        threshold >= 1 && threshold <= parties,
+        "threshold out of range"
+    );
     let count_width = (usize::BITS - parties.leading_zeros()) as usize + 1;
     let mut b = CircuitBuilder::new();
     let mut acc = b.constant_bus(0, count_width);

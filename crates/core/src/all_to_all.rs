@@ -164,7 +164,9 @@ impl PartyLogic for NaiveAllToAllParty {
                 }
                 Step::Output(std::mem::take(&mut self.view))
             }
-            _ => Step::Abort(AbortReason::BoundViolated("naive all-to-all ran past its rounds".into())),
+            _ => Step::Abort(AbortReason::BoundViolated(
+                "naive all-to-all ran past its rounds".into(),
+            )),
         }
     }
 }
@@ -324,7 +326,9 @@ impl PartyLogic for SuccinctAllToAllParty {
                 }
                 Step::Output(std::mem::take(&mut self.view))
             }
-            _ => Step::Abort(AbortReason::BoundViolated("succinct all-to-all ran past its rounds".into())),
+            _ => Step::Abort(AbortReason::BoundViolated(
+                "succinct all-to-all ran past its rounds".into(),
+            )),
         }
     }
 }
@@ -437,7 +441,11 @@ mod tests {
         // Naive.
         let honest = naive_parties(&all_inputs, &corrupted);
         let adversary = ProxyAdversary::new(
-            vec![NaiveAllToAllParty::new(PartyId(2), n, all_inputs[2].clone())],
+            vec![NaiveAllToAllParty::new(
+                PartyId(2),
+                n,
+                all_inputs[2].clone(),
+            )],
             n,
             |round, envelope| {
                 let mut out = envelope.clone();
@@ -484,7 +492,10 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        assert!(result.any_abort(), "succinct variant must detect equivocation");
+        assert!(
+            result.any_abort(),
+            "succinct variant must detect equivocation"
+        );
         let views: Vec<&View> = result
             .outcomes
             .values()

@@ -33,7 +33,10 @@ impl Encode for BroadcastMsg {
             }
             BroadcastMsg::Echo(m) => {
                 w.put_u8(1);
-                m.as_ref().map(|v| v.as_slice()).map(|v| v.to_vec()).encode(w);
+                m.as_ref()
+                    .map(|v| v.as_slice())
+                    .map(|v| v.to_vec())
+                    .encode(w);
             }
         }
     }
@@ -99,7 +102,12 @@ impl PartyLogic for BroadcastParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Vec<u8>> {
         match round {
             // Broadcast step.
             0 => {
@@ -178,7 +186,9 @@ impl PartyLogic for BroadcastParty {
                     )),
                 }
             }
-            _ => Step::Abort(AbortReason::BoundViolated("broadcast ran past its rounds".into())),
+            _ => Step::Abort(AbortReason::BoundViolated(
+                "broadcast ran past its rounds".into(),
+            )),
         }
     }
 }
@@ -243,8 +253,7 @@ mod tests {
         let honest = broadcast_parties(n, PartyId(0), b"real".to_vec(), &corrupted);
         // The corrupted sender sends "real" to half the parties and "fake" to
         // the rest; it echoes honestly.
-        let corrupted_logic =
-            vec![BroadcastParty::sender(PartyId(0), n, b"real".to_vec())];
+        let corrupted_logic = vec![BroadcastParty::sender(PartyId(0), n, b"real".to_vec())];
         let adversary = ProxyAdversary::new(corrupted_logic, n, |round, envelope| {
             let mut out = envelope.clone();
             if round == 0 && envelope.to.index() % 2 == 0 {

@@ -104,7 +104,9 @@ impl CommitteeElectParty {
     }
 
     fn others(&self) -> Vec<PartyId> {
-        PartyId::all(self.params.n).filter(|p| *p != self.id).collect()
+        PartyId::all(self.params.n)
+            .filter(|p| *p != self.id)
+            .collect()
     }
 }
 
@@ -162,8 +164,11 @@ impl PartyLogic for CommitteeElectParty {
                     )));
                 }
                 if self.elected {
-                    let mut equality =
-                        PairwiseEquality::new(self.id, self.view.iter().copied(), self.params.lambda);
+                    let mut equality = PairwiseEquality::new(
+                        self.id,
+                        self.view.iter().copied(),
+                        self.params.lambda,
+                    );
                     let encoded = encode_committee(&self.view);
                     for (peer, challenge) in equality.build_challenges(&encoded, &mut self.prg) {
                         ctx.send_msg(peer, &CommitteeMsg::Challenge(challenge));
@@ -265,7 +270,10 @@ mod tests {
     fn all_honest_election_agrees_and_is_nonempty() {
         let params = ProtocolParams::new(48, 16);
         let parties = committee_parties(&params, b"elect-1", &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort(), "honest election should not abort");
         let views: Vec<&CommitteeView> = result
             .outcomes
@@ -276,7 +284,10 @@ mod tests {
         assert!(!committee.is_empty(), "committee should be non-empty");
         assert!(committee.len() < params.committee_bound());
         for view in &views {
-            assert_eq!(&view.committee, committee, "all parties agree on the committee");
+            assert_eq!(
+                &view.committee, committee,
+                "all parties agree on the committee"
+            );
         }
         // Membership flags are consistent with the agreed committee.
         for (id, outcome) in &result.outcomes {
@@ -294,7 +305,10 @@ mod tests {
         let large_h = ProtocolParams::new(128, 64);
         let committee_size = |params: &ProtocolParams| {
             let parties = committee_parties(params, seed, &BTreeSet::new());
-            let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+            let result = Simulator::all_honest(params.n, parties)
+                .unwrap()
+                .run()
+                .unwrap();
             result
                 .outcomes
                 .values()

@@ -62,7 +62,12 @@ impl PartyLogic for EqualityParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<EqualityOutcome> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<EqualityOutcome> {
         match round {
             0 => {
                 if self.is_initiator() {
@@ -80,7 +85,9 @@ impl PartyLogic for EqualityParty {
                     return Step::Abort(AbortReason::MissingMessage("equality challenge".into()));
                 };
                 if incoming.iter().filter(|e| e.from == self.peer).count() > 1 {
-                    return Step::Abort(AbortReason::OverReceipt("duplicate equality challenge".into()));
+                    return Step::Abort(AbortReason::OverReceipt(
+                        "duplicate equality challenge".into(),
+                    ));
                 }
                 let challenge: EqualityChallenge = match envelope.decode() {
                     Ok(c) => c,
@@ -94,7 +101,9 @@ impl PartyLogic for EqualityParty {
             2 => {
                 if self.is_initiator() {
                     let Some(envelope) = incoming.iter().find(|e| e.from == self.peer) else {
-                        return Step::Abort(AbortReason::MissingMessage("equality response".into()));
+                        return Step::Abort(AbortReason::MissingMessage(
+                            "equality response".into(),
+                        ));
                     };
                     let response: EqualityResponse = match envelope.decode() {
                         Ok(r) => r,
@@ -109,7 +118,9 @@ impl PartyLogic for EqualityParty {
                     })
                 }
             }
-            _ => Step::Abort(AbortReason::BoundViolated("equality ran past its rounds".into())),
+            _ => Step::Abort(AbortReason::BoundViolated(
+                "equality ran past its rounds".into(),
+            )),
         }
     }
 }
@@ -145,12 +156,20 @@ impl PairwiseEquality {
 
     /// The peers this party initiates challenges towards (higher ids).
     pub fn initiate_targets(&self) -> Vec<PartyId> {
-        self.peers.iter().copied().filter(|p| *p > self.my_id).collect()
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| *p > self.my_id)
+            .collect()
     }
 
     /// The peers this party expects challenges from (lower ids).
     pub fn expected_initiators(&self) -> Vec<PartyId> {
-        self.peers.iter().copied().filter(|p| *p < self.my_id).collect()
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| *p < self.my_id)
+            .collect()
     }
 
     /// Builds the challenges this party must send for its `view` string and
@@ -272,8 +291,7 @@ mod tests {
 
     #[test]
     fn pairwise_helper_detects_failed_response() {
-        let mut helper =
-            PairwiseEquality::new(PartyId(0), [PartyId(0), PartyId(1)].into_iter(), 16);
+        let mut helper = PairwiseEquality::new(PartyId(0), [PartyId(0), PartyId(1)], 16);
         let mut prg = Prg::from_seed_bytes(b"pairwise2");
         let _ = helper.build_challenges(b"view", &mut prg);
         helper.absorb_response(&EqualityResponse { equal: false });

@@ -134,7 +134,12 @@ impl PartyLogic for GossipParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<GossipView> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<GossipView> {
         if round == 0 {
             if let Some(value) = self.input.clone() {
                 self.view.insert(self.id, value.clone());
@@ -150,7 +155,9 @@ impl PartyLogic for GossipParty {
             return Step::Continue;
         }
         if round >= self.total_rounds {
-            return Step::Abort(AbortReason::BoundViolated("gossip ran past its rounds".into()));
+            return Step::Abort(AbortReason::BoundViolated(
+                "gossip ran past its rounds".into(),
+            ));
         }
 
         for envelope in incoming {
@@ -200,7 +207,10 @@ mod tests {
     /// per-party neighbourhoods.
     fn routing_graph(params: &ProtocolParams, seed: &[u8]) -> BTreeMap<PartyId, BTreeSet<PartyId>> {
         let parties = sparse_parties(params, seed, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         result
             .outcomes
             .iter()
@@ -234,7 +244,10 @@ mod tests {
             .map(|id| (id, vec![id.index() as u8; 3]))
             .collect();
         let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         let expected: GossipView = inputs.clone();
         assert_eq!(result.unanimous_output(), Some(&expected));
@@ -251,7 +264,10 @@ mod tests {
             .map(|id| (id, vec![id.index() as u8]))
             .collect();
         let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(result.unanimous_output(), Some(&inputs));
     }
 
@@ -264,13 +280,19 @@ mod tests {
             .map(|id| (id, vec![1u8, 2, 3, 4]))
             .collect();
         let parties = gossip_parties(&graph, &inputs, params.gossip_rounds(), &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             result.honest_locality() <= max_degree,
             "gossip locality {} exceeds graph degree {max_degree}",
             result.honest_locality()
         );
-        assert!(result.honest_locality() < params.n - 1, "should not be a clique");
+        assert!(
+            result.honest_locality() < params.n - 1,
+            "should not be a clique"
+        );
     }
 
     #[test]
@@ -327,11 +349,18 @@ mod tests {
         // cascades: every honest party must abort (none outputs a view that
         // silently contains one of the two lies as truth *and* differs from
         // another honest party's view).
-        let views: Vec<&GossipView> = result.outcomes.values().filter_map(|o| o.output()).collect();
+        let views: Vec<&GossipView> = result
+            .outcomes
+            .values()
+            .filter_map(|o| o.output())
+            .collect();
         for window in views.windows(2) {
             assert_eq!(window[0], window[1], "non-aborting views must agree");
         }
-        assert!(result.any_abort(), "equivocation must be detected somewhere");
+        assert!(
+            result.any_abort(),
+            "equivocation must be detected somewhere"
+        );
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! [`params::ExecutionPath`]: the *concrete* threshold-LWE path (real
 //! cryptography end-to-end, linear functionalities) or the *hybrid* path
 //! (ideal encrypted functionality plus Theorem 9-sized messages, arbitrary
-//! circuits). See DESIGN.md for the substitution rationale.
+//! circuits). See `DESIGN.md` §2 at the repository root for the
+//! substitution rationale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -172,10 +172,9 @@ impl PartyLogic for LocalCommitteeElectParty {
                     }
                     self.gossip = None;
                     // Step 4: the size bound.
-                    let bound = (2.0
-                        * self.params.local_election_probability()
-                        * self.params.n as f64)
-                        .ceil() as usize;
+                    let bound =
+                        (2.0 * self.params.local_election_probability() * self.params.n as f64)
+                            .ceil() as usize;
                     if self.committee.len() >= bound.max(1) {
                         return Step::Abort(AbortReason::BoundViolated(format!(
                             "{} claimed members exceed the local bound {bound}",
@@ -287,7 +286,10 @@ mod tests {
         let params = ProtocolParams::new(48, 36);
         let crs = CommonRandomString::from_label(b"local-elect");
         let parties = local_committee_parties(&params, crs, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         let outputs: Vec<&LocalCommitteeOutput> = result
             .outcomes
@@ -316,7 +318,10 @@ mod tests {
         let params = ProtocolParams::new(128, 100).with_alpha(1.0);
         let crs = CommonRandomString::from_label(b"local-elect-locality");
         let parties = local_committee_parties(&params, crs, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         let committee = result
             .outcomes
@@ -342,7 +347,10 @@ mod tests {
             .copied()
             .filter(|id| !committee.contains(id))
             .collect();
-        assert!(!non_members.is_empty(), "parameters should leave some non-members");
+        assert!(
+            !non_members.is_empty(),
+            "parameters should leave some non-members"
+        );
         for id in non_members {
             assert!(
                 result.stats.peers_of(id).len() <= degree_bound,
@@ -366,7 +374,8 @@ mod tests {
             LocalCommitteeMsg::Challenge(EqualityChallenge::new(&mut prg, 16, b"view")),
             LocalCommitteeMsg::Response(EqualityResponse { equal: false }),
         ] {
-            let back: LocalCommitteeMsg = mpca_wire::from_bytes(&mpca_wire::to_bytes(&msg)).unwrap();
+            let back: LocalCommitteeMsg =
+                mpca_wire::from_bytes(&mpca_wire::to_bytes(&msg)).unwrap();
             assert_eq!(back, msg);
         }
     }

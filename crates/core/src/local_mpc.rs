@@ -135,7 +135,12 @@ impl PartyLogic for LocalMpcParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Vec<u8>> {
         let gossip_rounds = self.params.gossip_rounds();
 
         // Phase A: sparse routing network.
@@ -277,7 +282,10 @@ mod tests {
         let (functionality, inputs) = xor_setup(params.n);
         let crs = CommonRandomString::from_label(b"local-mpc");
         let parties = local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         let expected = expected_output(&functionality, &inputs, &BTreeSet::new());
         assert_eq!(result.unanimous_output(), Some(&expected));
@@ -290,14 +298,20 @@ mod tests {
         let (functionality, inputs) = xor_setup(params.n);
         let crs = CommonRandomString::from_label(b"local-mpc-locality");
         let parties = local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         let locality = result.honest_locality();
         assert!(
             locality <= params.sparse_degree() + params.sparse_in_bound(),
             "locality {locality} exceeds the routing-graph degree bound"
         );
-        assert!(locality < params.n / 2, "locality {locality} is not sublinear");
+        assert!(
+            locality < params.n / 2,
+            "locality {locality} is not sublinear"
+        );
     }
 
     #[test]
@@ -385,7 +399,11 @@ mod tests {
         // Some honest parties abort (non-neighbour sender, or equivocation,
         // or mismatching outputs); crucially no two honest parties output
         // different values.
-        let outputs: Vec<&Vec<u8>> = result.outcomes.values().filter_map(|o| o.output()).collect();
+        let outputs: Vec<&Vec<u8>> = result
+            .outcomes
+            .values()
+            .filter_map(|o| o.output())
+            .collect();
         for window in outputs.windows(2) {
             assert_eq!(window[0], window[1]);
         }

@@ -97,7 +97,9 @@ impl LimitedBroadcastParty {
                 Ok(())
             }
             Some(existing) if *existing == value => Ok(()),
-            Some(_) => Err(AbortReason::Equivocation("two different values heard".into())),
+            Some(_) => Err(AbortReason::Equivocation(
+                "two different values heard".into(),
+            )),
         }
     }
 
@@ -121,7 +123,12 @@ impl PartyLogic for LimitedBroadcastParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Vec<u8>> {
         if round == 0 {
             let mut contacts = self.prg.sample_subset(self.n - 1, self.budget);
             for c in contacts.iter_mut() {
@@ -219,12 +226,7 @@ pub struct AttackOutcome {
 /// The sender is corrupted; `target` is an honest non-sender; the remaining
 /// `h − 1` honest parties are chosen at random. Returns whether the target
 /// ended up isolated and whether the attack broke correctness.
-pub fn isolation_attack_trial(
-    n: usize,
-    h: usize,
-    budget: usize,
-    seed: &[u8],
-) -> AttackOutcome {
+pub fn isolation_attack_trial(n: usize, h: usize, budget: usize, seed: &[u8]) -> AttackOutcome {
     assert!(n >= 3 && h >= 2 && h < n, "need 2 ≤ h < n and n ≥ 3");
     let mut prg = Prg::from_seed_bytes(seed);
     let real = b"real-value".to_vec();
@@ -242,9 +244,7 @@ pub fn isolation_attack_trial(
     let party_prg = |id: PartyId| Prg::from_seed_bytes(&[seed, &id.index().to_le_bytes()].concat());
     let honest_parties: Vec<LimitedBroadcastParty> = honest
         .iter()
-        .map(|&id| {
-            LimitedBroadcastParty::new(id, n, sender, None, budget, party_prg(id))
-        })
+        .map(|&id| LimitedBroadcastParty::new(id, n, sender, None, budget, party_prg(id)))
         .collect();
 
     // Determine isolation by re-deriving the target's contacts the same way
@@ -271,9 +271,7 @@ pub fn isolation_attack_trial(
         .run()
         .expect("terminates");
 
-    let target_output = result
-        .outcome_of(target)
-        .and_then(|o| o.output().cloned());
+    let target_output = result.outcome_of(target).and_then(|o| o.output().cloned());
     let some_other_honest_output_real = result
         .outcomes
         .iter()
@@ -335,7 +333,10 @@ mod tests {
         let (isolation, violation) = isolation_attack_rate(64, 8, 1, 60, b"lb-low");
         // With a single contact and only 8 honest parties out of 64, the
         // contact is corrupted with probability ≈ 7/8.
-        assert!(isolation > 0.5, "isolation rate {isolation} unexpectedly low");
+        assert!(
+            isolation > 0.5,
+            "isolation rate {isolation} unexpectedly low"
+        );
         assert!(
             violation > 0.3,
             "correctness-violation rate {violation} unexpectedly low"
@@ -349,8 +350,14 @@ mod tests {
         let h = 16;
         let budget = (4.0 * (n as f64 / h as f64) * (n as f64).ln()).ceil() as usize;
         let (isolation, violation) = isolation_attack_rate(n, h, budget, 40, b"lb-high");
-        assert!(isolation < 0.05, "isolation rate {isolation} unexpectedly high");
-        assert!(violation < 0.05, "violation rate {violation} unexpectedly high");
+        assert!(
+            isolation < 0.05,
+            "isolation rate {isolation} unexpectedly high"
+        );
+        assert!(
+            violation < 0.05,
+            "violation rate {violation} unexpectedly high"
+        );
     }
 
     #[test]
@@ -360,8 +367,14 @@ mod tests {
         let low = isolation_attack_rate(n, h, 1, 60, b"lb-mono").0;
         let mid = isolation_attack_rate(n, h, 8, 60, b"lb-mono").0;
         let high = isolation_attack_rate(n, h, 32, 60, b"lb-mono").0;
-        assert!(low >= mid, "isolation should not increase with budget ({low} vs {mid})");
-        assert!(mid >= high, "isolation should not increase with budget ({mid} vs {high})");
+        assert!(
+            low >= mid,
+            "isolation should not increase with budget ({low} vs {mid})"
+        );
+        assert!(
+            mid >= high,
+            "isolation should not increase with budget ({mid} vs {high})"
+        );
         assert!(low > high, "sweep should show a real decrease");
     }
 
@@ -376,7 +389,8 @@ mod tests {
         // Sanity: with everyone honest and a large budget the strawman
         // protocol actually delivers the sender's value.
         let n = 24;
-        let prg = |id: PartyId| Prg::from_seed_bytes(&[b"honest", &[id.index() as u8][..]].concat());
+        let prg =
+            |id: PartyId| Prg::from_seed_bytes(&[b"honest", &[id.index() as u8][..]].concat());
         let parties: Vec<LimitedBroadcastParty> = PartyId::all(n)
             .map(|id| {
                 let message = (id == PartyId(0)).then(|| b"value".to_vec());

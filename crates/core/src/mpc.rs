@@ -243,7 +243,11 @@ impl MpcParty {
     }
 
     fn other_members(&self) -> Vec<PartyId> {
-        self.committee.iter().copied().filter(|c| *c != self.id).collect()
+        self.committee
+            .iter()
+            .copied()
+            .filter(|c| *c != self.id)
+            .collect()
     }
 
     fn reconstruct_pk(&self, b: &[u64]) -> Option<LwePublicKey> {
@@ -268,12 +272,15 @@ impl MpcParty {
             .all_parties()
             .iter()
             .map(|p| match self.ct_view.get(p) {
-                Some(bytes) => mpca_wire::from_bytes(bytes)
-                    .unwrap_or(LweCiphertext { chunks: Vec::new() }),
+                Some(bytes) => {
+                    mpca_wire::from_bytes(bytes).unwrap_or(LweCiphertext { chunks: Vec::new() })
+                }
                 None => LweCiphertext { chunks: Vec::new() },
             })
             .collect();
-        host.borrow_mut().compute(&cts)
+        host.lock()
+            .expect("encfunc host lock poisoned")
+            .compute(&cts)
     }
 
     /// Homomorphic aggregation of the collected ciphertexts, concrete path.
@@ -295,7 +302,12 @@ impl PartyLogic for MpcParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Vec<u8>> {
         // Phase A: committee election (rounds 0..committee::ROUNDS).
         if round < crate::committee::ROUNDS {
             let elect = self.elect.as_mut().expect("election still in progress");
@@ -307,9 +319,7 @@ impl PartyLogic for MpcParty {
                     is_member,
                 }) => {
                     if committee.is_empty() {
-                        return Step::Abort(AbortReason::MissingMessage(
-                            "empty committee".into(),
-                        ));
+                        return Step::Abort(AbortReason::MissingMessage("empty committee".into()));
                     }
                     self.committee = committee;
                     self.is_member = is_member;
@@ -340,7 +350,7 @@ impl PartyLogic for MpcParty {
                             let mut r = [0u8; 32];
                             rand::RngCore::fill_bytes(&mut self.prg, &mut r);
                             {
-                                let mut host = host.borrow_mut();
+                                let mut host = host.lock().expect("encfunc host lock poisoned");
                                 host.set_expected_members(1);
                                 host.submit_enc_randomness(self.id.index(), r);
                             }
@@ -388,15 +398,19 @@ impl PartyLogic for MpcParty {
                         ExecutionPath::Hybrid => {
                             let host = self.host.as_ref().expect("hybrid host");
                             let pk = host
-                                .borrow_mut()
+                                .lock()
+                                .expect("encfunc host lock poisoned")
                                 .public_key()
                                 .expect("all members have contributed");
                             pk.b
                         }
                     };
                     self.pk_b = Some(pk_b.clone());
-                    let recipients: Vec<PartyId> =
-                        self.all_parties().into_iter().filter(|p| *p != self.id).collect();
+                    let recipients: Vec<PartyId> = self
+                        .all_parties()
+                        .into_iter()
+                        .filter(|p| *p != self.id)
+                        .collect();
                     ctx.send_to_all(recipients, &MpcMsg::PublicKey(pk_b));
                 }
                 Step::Continue
@@ -436,7 +450,9 @@ impl PartyLogic for MpcParty {
                     ));
                 };
                 let Some(pk) = self.reconstruct_pk(&pk_b) else {
-                    return Step::Abort(AbortReason::Malformed("public key has wrong shape".into()));
+                    return Step::Abort(AbortReason::Malformed(
+                        "public key has wrong shape".into(),
+                    ));
                 };
                 self.pk_b = Some(pk_b);
                 let ct = match self.path {
@@ -502,7 +518,9 @@ impl PartyLogic for MpcParty {
                     for envelope in incoming {
                         match envelope.decode::<MpcMsg>() {
                             Ok(MpcMsg::CtChallenge(challenge)) => {
-                                if envelope.from >= self.id || !self.committee.contains(&envelope.from) {
+                                if envelope.from >= self.id
+                                    || !self.committee.contains(&envelope.from)
+                                {
                                     equality.mark_failed();
                                     continue;
                                 }
@@ -608,8 +626,11 @@ impl PartyLogic for MpcParty {
                         },
                     };
                     self.output = Some(output.clone());
-                    let recipients: Vec<PartyId> =
-                        self.all_parties().into_iter().filter(|p| *p != self.id).collect();
+                    let recipients: Vec<PartyId> = self
+                        .all_parties()
+                        .into_iter()
+                        .filter(|p| *p != self.id)
+                        .collect();
                     ctx.send_to_all(recipients, &MpcMsg::Output(output));
                 }
                 Step::Continue
@@ -730,7 +751,10 @@ mod tests {
             None,
             &BTreeSet::new(),
         );
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort(), "honest run should not abort");
         assert_eq!(result.unanimous_output(), Some(&expected));
         assert_eq!(result.rounds, ROUNDS);
@@ -740,7 +764,9 @@ mod tests {
     fn hybrid_path_all_honest_computes_the_xor() {
         let params = ProtocolParams::new(16, 8);
         let functionality = Functionality::Xor { input_bytes: 2 };
-        let inputs: Vec<Vec<u8>> = (0..params.n).map(|i| vec![i as u8, (i * 3) as u8]).collect();
+        let inputs: Vec<Vec<u8>> = (0..params.n)
+            .map(|i| vec![i as u8, (i * 3) as u8])
+            .collect();
         let expected = functionality.evaluate(&inputs);
         let crs = CommonRandomString::from_label(b"mpc-hybrid");
         let host = hybrid_host(&params, &functionality, &crs);
@@ -753,7 +779,10 @@ mod tests {
             Some(host),
             &BTreeSet::new(),
         );
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         assert_eq!(result.unanimous_output(), Some(&expected));
     }
@@ -824,7 +853,10 @@ mod tests {
                 None,
                 &BTreeSet::new(),
             );
-            let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+            let result = Simulator::all_honest(params.n, parties)
+                .unwrap()
+                .run()
+                .unwrap();
             assert_eq!(result.unanimous_output(), Some(&expected));
             result.honest_bits()
         };

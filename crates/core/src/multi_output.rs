@@ -195,7 +195,11 @@ impl MultiOutputParty {
     }
 
     fn other_members(&self) -> Vec<PartyId> {
-        self.committee.iter().copied().filter(|c| *c != self.id).collect()
+        self.committee
+            .iter()
+            .copied()
+            .filter(|c| *c != self.id)
+            .collect()
     }
 
     fn designated_member(&self) -> Option<PartyId> {
@@ -221,7 +225,12 @@ impl PartyLogic for MultiOutputParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Vec<u8>> {
         if round < crate::committee::ROUNDS {
             let elect = self.elect.as_mut().expect("election in progress");
             return match elect.on_round(round, incoming, ctx) {
@@ -251,7 +260,7 @@ impl PartyLogic for MultiOutputParty {
                     rand::RngCore::fill_bytes(&mut self.prg, &mut r_enc);
                     rand::RngCore::fill_bytes(&mut self.prg, &mut r_sig);
                     {
-                        let mut host = self.host.borrow_mut();
+                        let mut host = self.host.lock().expect("encfunc host lock poisoned");
                         host.set_expected_members(1);
                         host.submit_enc_randomness(self.id.index(), r_enc);
                         host.submit_sig_randomness(self.id.index(), r_sig);
@@ -269,7 +278,7 @@ impl PartyLogic for MultiOutputParty {
             1 => {
                 if self.is_member {
                     let (pk_b, sig_pk) = {
-                        let mut host = self.host.borrow_mut();
+                        let mut host = self.host.lock().expect("encfunc host lock poisoned");
                         let pk = host.public_key().expect("members contributed");
                         let sig_pk = host
                             .signing_public_key(self.params.n)
@@ -317,7 +326,9 @@ impl PartyLogic for MultiOutputParty {
                     ));
                 };
                 let Some(pk) = self.reconstruct_pk(&pk_b) else {
-                    return Step::Abort(AbortReason::Malformed("public key has wrong shape".into()));
+                    return Step::Abort(AbortReason::Malformed(
+                        "public key has wrong shape".into(),
+                    ));
                 };
                 self.keys = Some((pk_b, sig_pk));
                 let key = SymmetricKey::generate(&mut self.prg);
@@ -412,10 +423,12 @@ impl PartyLogic for MultiOutputParty {
                         ));
                     }
                     let cost = self.params.cost_model(self.functionality.depth());
-                    let output_bits =
-                        8 * self.functionality.output_bytes(self.params.n).max(1);
+                    let output_bits = 8 * self.functionality.output_bytes(self.params.n).max(1);
                     let bytes = output_bits * cost.partial_decryption_bytes() / 8;
-                    ctx.send_to_all(self.other_members(), &MultiMsg::Filler(vec![0u8; bytes.max(1)]));
+                    ctx.send_to_all(
+                        self.other_members(),
+                        &MultiMsg::Filler(vec![0u8; bytes.max(1)]),
+                    );
                 }
                 Step::Continue
             }
@@ -441,7 +454,8 @@ impl PartyLogic for MultiOutputParty {
                     }
                     let bundles = self
                         .host
-                        .borrow_mut()
+                        .lock()
+                        .expect("encfunc host lock poisoned")
                         .compute_signed(&input_cts, &key_cts);
                     let Some(bundles) = bundles else {
                         return Step::Abort(AbortReason::CryptoFailure(
@@ -469,7 +483,8 @@ impl PartyLogic for MultiOutputParty {
                 // The designated member delivered to itself via `collected`.
                 if self.is_member && self.designated_member() == Some(self.id) {
                     if let Some(bytes) = self.collected.get(&self.id) {
-                        if let Ok(MultiMsg::Output(own)) = mpca_wire::from_bytes::<MultiMsg>(bytes) {
+                        if let Ok(MultiMsg::Output(own)) = mpca_wire::from_bytes::<MultiMsg>(bytes)
+                        {
                             bundle = Some(own);
                         }
                     }
@@ -547,8 +562,7 @@ pub fn multi_output_host(
     functionality: &MultiOutputFunctionality,
     crs: &CommonRandomString,
 ) -> SharedHost {
-    let shared_a =
-        shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"multi-lwe-matrix"));
+    let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"multi-lwe-matrix"));
     mpca_encfunc::EncFuncHost::new(
         params.lwe,
         mpca_encfunc::hybrid::HostFunctionality::Multi(functionality.clone()),
@@ -572,9 +586,18 @@ mod tests {
         let expected = functionality.evaluate(&inputs);
         let crs = CommonRandomString::from_label(b"multi-auction");
         let host = multi_output_host(&params, &functionality, &crs);
-        let parties =
-            multi_output_parties(&params, &functionality, &inputs, crs, host, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let parties = multi_output_parties(
+            &params,
+            &functionality,
+            &inputs,
+            crs,
+            host,
+            &BTreeSet::new(),
+        );
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort(), "honest auction should not abort");
         for (id, outcome) in &result.outcomes {
             assert_eq!(
@@ -594,9 +617,18 @@ mod tests {
         let expected = functionality.evaluate(&inputs);
         let crs = CommonRandomString::from_label(b"multi-delta");
         let host = multi_output_host(&params, &functionality, &crs);
-        let parties =
-            multi_output_parties(&params, &functionality, &inputs, crs, host, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let parties = multi_output_parties(
+            &params,
+            &functionality,
+            &inputs,
+            crs,
+            host,
+            &BTreeSet::new(),
+        );
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         for (id, outcome) in &result.outcomes {
             assert_eq!(outcome.output(), Some(&expected[id.index()]));
@@ -608,18 +640,27 @@ mod tests {
         // The point of §4.3: the output phase is O(n) bundles, not O(n·|C|).
         let params = ProtocolParams::new(24, 12);
         let functionality = MultiOutputFunctionality::VickreyAuction { input_bytes: 2 };
-        let inputs: Vec<Vec<u8>> = (0..params.n).map(|i| (i as u16).to_le_bytes().to_vec()).collect();
+        let inputs: Vec<Vec<u8>> = (0..params.n)
+            .map(|i| (i as u16).to_le_bytes().to_vec())
+            .collect();
         let crs = CommonRandomString::from_label(b"multi-cost");
         let host = multi_output_host(&params, &functionality, &crs);
-        let parties =
-            multi_output_parties(&params, &functionality, &inputs, crs, host, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let parties = multi_output_parties(
+            &params,
+            &functionality,
+            &inputs,
+            crs,
+            host,
+            &BTreeSet::new(),
+        );
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         // Count output messages: exactly one per party (minus the designated
         // member's own), from a single relay.
-        let output_msgs = result
-            .stats
-            .total_messages();
+        let output_msgs = result.stats.total_messages();
         assert!(output_msgs > 0);
     }
 

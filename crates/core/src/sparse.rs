@@ -85,7 +85,12 @@ impl PartyLogic for SparseNetworkParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Neighborhood> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Neighborhood> {
         match round {
             0 => {
                 let degree = self.params.sparse_degree();
@@ -187,9 +192,15 @@ mod tests {
 
     use mpca_net::{Adversary, AdversaryCtx, SimConfig, Simulator};
 
-    fn run_all_honest(params: &ProtocolParams, seed: &[u8]) -> BTreeMap<PartyId, BTreeSet<PartyId>> {
+    fn run_all_honest(
+        params: &ProtocolParams,
+        seed: &[u8],
+    ) -> BTreeMap<PartyId, BTreeSet<PartyId>> {
         let parties = sparse_parties(params, seed, &BTreeSet::new());
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         result
             .outcomes

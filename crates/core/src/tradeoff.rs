@@ -24,7 +24,9 @@ use mpca_encfunc::SharedHost;
 use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
 
 use crate::equality::PairwiseEquality;
-use crate::local_committee::{rounds as election_rounds, LocalCommitteeElectParty, LocalCommitteeOutput};
+use crate::local_committee::{
+    rounds as election_rounds, LocalCommitteeElectParty, LocalCommitteeOutput,
+};
 use crate::mpc::{encode_ct_view, MpcMsg};
 use crate::params::{ExecutionPath, ProtocolParams};
 
@@ -139,7 +141,11 @@ impl TradeoffParty {
     }
 
     fn other_members(&self) -> Vec<PartyId> {
-        self.committee.iter().copied().filter(|c| *c != self.id).collect()
+        self.committee
+            .iter()
+            .copied()
+            .filter(|c| *c != self.id)
+            .collect()
     }
 
     fn reconstruct_pk(&self, b: &[u64]) -> Option<mpca_crypto::lwe::LwePublicKey> {
@@ -157,12 +163,15 @@ impl TradeoffParty {
         let host = self.host.as_ref()?;
         let cts: Vec<LweCiphertext> = PartyId::all(self.params.n)
             .map(|p| match self.ct_view.get(&p) {
-                Some(bytes) => mpca_wire::from_bytes(bytes)
-                    .unwrap_or(LweCiphertext { chunks: Vec::new() }),
+                Some(bytes) => {
+                    mpca_wire::from_bytes(bytes).unwrap_or(LweCiphertext { chunks: Vec::new() })
+                }
                 None => LweCiphertext { chunks: Vec::new() },
             })
             .collect();
-        host.borrow_mut().compute(&cts)
+        host.lock()
+            .expect("encfunc host lock poisoned")
+            .compute(&cts)
     }
 
     fn concrete_aggregate(&self) -> Option<LweCiphertext> {
@@ -183,7 +192,12 @@ impl PartyLogic for TradeoffParty {
         self.id
     }
 
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Vec<u8>> {
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Vec<u8>> {
         let election_end = election_rounds(&self.params);
 
         // Phase A: local committee election.
@@ -225,7 +239,7 @@ impl PartyLogic for TradeoffParty {
                             let mut r = [0u8; 32];
                             rand::RngCore::fill_bytes(&mut self.prg, &mut r);
                             {
-                                let mut host = host.borrow_mut();
+                                let mut host = host.lock().expect("encfunc host lock poisoned");
                                 host.set_expected_members(1);
                                 host.submit_enc_randomness(self.id.index(), r);
                             }
@@ -270,7 +284,11 @@ impl PartyLogic for TradeoffParty {
                         }
                         ExecutionPath::Hybrid => {
                             let host = self.host.as_ref().expect("hybrid host");
-                            host.borrow_mut().public_key().expect("members contributed").b
+                            host.lock()
+                                .expect("encfunc host lock poisoned")
+                                .public_key()
+                                .expect("members contributed")
+                                .b
                         }
                     };
                     self.pk_b = Some(pk_b.clone());
@@ -283,8 +301,12 @@ impl PartyLogic for TradeoffParty {
                         .map(PartyId)
                         .collect();
                     // Step 4: forward the public key to the cover.
-                    let recipients: Vec<PartyId> =
-                        self.cover.iter().copied().filter(|p| *p != self.id).collect();
+                    let recipients: Vec<PartyId> = self
+                        .cover
+                        .iter()
+                        .copied()
+                        .filter(|p| *p != self.id)
+                        .collect();
                     ctx.send_to_all(recipients, &MpcMsg::PublicKey(pk_b));
                 }
                 Step::Continue
@@ -329,7 +351,9 @@ impl PartyLogic for TradeoffParty {
                     ));
                 };
                 let Some(pk) = self.reconstruct_pk(&pk_b) else {
-                    return Step::Abort(AbortReason::Malformed("public key has wrong shape".into()));
+                    return Step::Abort(AbortReason::Malformed(
+                        "public key has wrong shape".into(),
+                    ));
                 };
                 self.pk_b = Some(pk_b);
                 let ct = match self.path {
@@ -565,8 +589,12 @@ impl PartyLogic for TradeoffParty {
                         },
                     };
                     self.output = Some(output.clone());
-                    let recipients: Vec<PartyId> =
-                        self.cover.iter().copied().filter(|p| *p != self.id).collect();
+                    let recipients: Vec<PartyId> = self
+                        .cover
+                        .iter()
+                        .copied()
+                        .filter(|p| *p != self.id)
+                        .collect();
                     ctx.send_to_all(recipients, &MpcMsg::Output(output));
                 }
                 Step::Continue
@@ -644,8 +672,7 @@ pub fn hybrid_host(
     functionality: &Functionality,
     crs: &CommonRandomString,
 ) -> SharedHost {
-    let shared_a =
-        shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"tradeoff-lwe-matrix"));
+    let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"tradeoff-lwe-matrix"));
     mpca_encfunc::EncFuncHost::new(
         params.lwe,
         mpca_encfunc::hybrid::HostFunctionality::Single(functionality.clone()),
@@ -680,12 +707,18 @@ mod tests {
             None,
             &BTreeSet::new(),
         );
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(result.correct_or_aborted(&expected.to_le_bytes().to_vec()));
         // An honest run should actually finish (the negligible-probability
         // events — uncovered party, disconnected graph — do not occur for
         // this seed).
-        assert_eq!(result.unanimous_output(), Some(&expected.to_le_bytes().to_vec()));
+        assert_eq!(
+            result.unanimous_output(),
+            Some(&expected.to_le_bytes().to_vec())
+        );
         assert_eq!(result.rounds, rounds(&params));
     }
 
@@ -706,7 +739,10 @@ mod tests {
             Some(host),
             &BTreeSet::new(),
         );
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(result.correct_or_aborted(&expected));
         assert_eq!(result.unanimous_output(), Some(&expected));
     }
@@ -720,7 +756,9 @@ mod tests {
             ..mpca_crypto::lwe::LweParams::toy()
         });
         let functionality = Functionality::Sum { input_bytes: 2 };
-        let inputs: Vec<Vec<u8>> = (0..params.n).map(|i| (i as u16).to_le_bytes().to_vec()).collect();
+        let inputs: Vec<Vec<u8>> = (0..params.n)
+            .map(|i| (i as u16).to_le_bytes().to_vec())
+            .collect();
         let crs = CommonRandomString::from_label(b"tradeoff-locality");
         let parties = tradeoff_parties(
             &params,
@@ -731,7 +769,10 @@ mod tests {
             None,
             &BTreeSet::new(),
         );
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(!result.any_abort());
         let committee_size = params.local_committee_bound();
         let bound = (params.sparse_degree()

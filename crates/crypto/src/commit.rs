@@ -138,8 +138,7 @@ mod tests {
     fn wire_round_trip() {
         let mut prg = Prg::from_seed_bytes(b"commit3");
         let (commitment, opening) = Commitment::commit(&mut prg, b"payload");
-        let c2: Commitment =
-            mpca_wire::from_bytes(&mpca_wire::to_bytes(&commitment)).unwrap();
+        let c2: Commitment = mpca_wire::from_bytes(&mpca_wire::to_bytes(&commitment)).unwrap();
         let o2: Opening = mpca_wire::from_bytes(&mpca_wire::to_bytes(&opening)).unwrap();
         assert_eq!(c2, commitment);
         assert_eq!(o2, opening);

@@ -185,7 +185,7 @@ mod tests {
         // The whole point of Lemma 5: challenge size is O(λ + log n) bits,
         // independent of the message length.
         let mut prg = Prg::from_seed_bytes(b"fp-comm");
-        let small = EqualityChallenge::new(&mut prg, 16, &vec![1u8; 32]);
+        let small = EqualityChallenge::new(&mut prg, 16, &[1u8; 32]);
         let large = EqualityChallenge::new(&mut prg, 16, &vec![1u8; 1 << 20]);
         assert_eq!(
             mpca_wire::encoded_len(&small),

@@ -160,7 +160,9 @@ mod tests {
         let mut prg = Prg::from_seed_bytes(b"lamport");
         let keypair = LamportKeyPair::generate(&mut prg);
         let signature = keypair.sign(b"output for party 3");
-        assert!(keypair.public_key().verify(b"output for party 3", &signature));
+        assert!(keypair
+            .public_key()
+            .verify(b"output for party 3", &signature));
     }
 
     #[test]
@@ -196,8 +198,7 @@ mod tests {
         let sig = kp.sign(b"round trip");
         let pk_back: LamportPublicKey =
             mpca_wire::from_bytes(&mpca_wire::to_bytes(kp.public_key())).unwrap();
-        let sig_back: LamportSignature =
-            mpca_wire::from_bytes(&mpca_wire::to_bytes(&sig)).unwrap();
+        let sig_back: LamportSignature = mpca_wire::from_bytes(&mpca_wire::to_bytes(&sig)).unwrap();
         assert!(pk_back.verify(b"round trip", &sig_back));
     }
 }

@@ -51,8 +51,8 @@ pub mod merkle_sig;
 pub mod prg;
 pub mod primes;
 pub mod secret_sharing;
-pub mod ske;
 pub mod sha256;
+pub mod ske;
 pub mod threshold;
 
 pub use chacha20::ChaCha20;
@@ -65,8 +65,8 @@ pub use merkle::MerkleTree;
 pub use merkle_sig::{MerkleSigKeyPair, MerkleSigPublicKey, MerkleSignature};
 pub use prg::Prg;
 pub use sha256::{sha256, Sha256};
-pub use ske::{SymmetricKey, SkeCiphertext};
-pub use threshold::{ThresholdDecryptor, ThresholdKeyShares, PartialDecryption};
+pub use ske::{SkeCiphertext, SymmetricKey};
+pub use threshold::{PartialDecryption, ThresholdDecryptor, ThresholdKeyShares};
 
 /// A 256-bit digest.
 pub type Digest = [u8; 32];

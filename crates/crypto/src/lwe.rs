@@ -80,14 +80,20 @@ impl LweParams {
     /// Panics if the parameters are inconsistent (non-power-of-two moduli,
     /// plaintext modulus not dividing the ciphertext modulus, zero sizes).
     pub fn validate(&self) {
-        assert!(self.dim > 0 && self.pk_rows > 0, "dimensions must be positive");
-        assert!(self.modulus.is_power_of_two(), "modulus must be a power of two");
+        assert!(
+            self.dim > 0 && self.pk_rows > 0,
+            "dimensions must be positive"
+        );
+        assert!(
+            self.modulus.is_power_of_two(),
+            "modulus must be a power of two"
+        );
         assert!(
             self.plaintext_modulus.is_power_of_two(),
             "plaintext modulus must be a power of two"
         );
         assert!(
-            self.modulus % self.plaintext_modulus == 0,
+            self.modulus.is_multiple_of(self.plaintext_modulus),
             "plaintext modulus must divide modulus"
         );
         assert!(self.bytes_per_chunk() >= 1, "plaintext modulus too small");
@@ -142,11 +148,15 @@ pub struct LweCiphertext {
 /// Generates a key pair from `prg` randomness.
 pub fn keygen(params: &LweParams, prg: &mut Prg) -> (LwePublicKey, LweSecretKey) {
     params.validate();
-    let s: Vec<u64> = (0..params.dim).map(|_| prg.gen_range(params.modulus)).collect();
+    let s: Vec<u64> = (0..params.dim)
+        .map(|_| prg.gen_range(params.modulus))
+        .collect();
     let mut a = Vec::with_capacity(params.pk_rows * params.dim);
     let mut b = Vec::with_capacity(params.pk_rows);
     for _ in 0..params.pk_rows {
-        let row: Vec<u64> = (0..params.dim).map(|_| prg.gen_range(params.modulus)).collect();
+        let row: Vec<u64> = (0..params.dim)
+            .map(|_| prg.gen_range(params.modulus))
+            .collect();
         let mut acc: u128 = 0;
         for (ai, si) in row.iter().zip(s.iter()) {
             acc = acc.wrapping_add(*ai as u128 * *si as u128);
@@ -215,7 +225,9 @@ impl LwePublicKey {
     /// common shape before homomorphic aggregation.
     pub fn encrypt_zero_like(&self, prg: &mut Prg, chunk_count: usize) -> LweCiphertext {
         LweCiphertext {
-            chunks: (0..chunk_count).map(|_| self.encrypt_chunk(prg, 0)).collect(),
+            chunks: (0..chunk_count)
+                .map(|_| self.encrypt_chunk(prg, 0))
+                .collect(),
         }
     }
 }
@@ -365,7 +377,7 @@ impl Decode for LwePublicKey {
         if !params.modulus.is_power_of_two()
             || !params.plaintext_modulus.is_power_of_two()
             || params.plaintext_modulus == 0
-            || params.modulus % params.plaintext_modulus != 0
+            || !params.modulus.is_multiple_of(params.plaintext_modulus)
         {
             return Err(WireError::Invalid("inconsistent LWE parameters"));
         }
@@ -448,7 +460,10 @@ mod tests {
         }
         let acc = acc.unwrap();
         let expected: u64 = values.iter().sum::<u64>() % params.plaintext_modulus;
-        assert_eq!(sk.decrypt_chunk(&acc.chunks[0].0, acc.chunks[0].1), expected);
+        assert_eq!(
+            sk.decrypt_chunk(&acc.chunks[0].0, acc.chunks[0].1),
+            expected
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl MerkleTree {
 
     /// The Merkle root.
     pub fn root(&self) -> Digest {
-        *self.levels.last().expect("non-empty")
+        *self
+            .levels
+            .last()
+            .expect("non-empty")
             .first()
             .expect("root level has one node")
     }
@@ -100,7 +103,7 @@ impl MerkleTree {
         let mut hash = hash_leaf(leaf);
         let mut idx = proof.index;
         for sibling in &proof.siblings {
-            hash = if idx % 2 == 0 {
+            hash = if idx.is_multiple_of(2) {
                 hash_node(&hash, sibling)
             } else {
                 hash_node(sibling, &hash)
@@ -151,7 +154,9 @@ mod tests {
     #[test]
     fn all_leaves_verify_various_sizes() {
         for count in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
-            let leaves: Vec<Vec<u8>> = (0..count).map(|i| format!("leaf-{i}").into_bytes()).collect();
+            let leaves: Vec<Vec<u8>> = (0..count)
+                .map(|i| format!("leaf-{i}").into_bytes())
+                .collect();
             let tree = MerkleTree::build(&leaves);
             for (i, leaf) in leaves.iter().enumerate() {
                 let proof = tree.prove(i);

@@ -55,8 +55,9 @@ impl MerkleSigKeyPair {
     /// Panics if `capacity == 0`.
     pub fn generate(prg: &mut Prg, capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity must be at least 1");
-        let leaves: Vec<LamportKeyPair> =
-            (0..capacity).map(|_| LamportKeyPair::generate(prg)).collect();
+        let leaves: Vec<LamportKeyPair> = (0..capacity)
+            .map(|_| LamportKeyPair::generate(prg))
+            .collect();
         let leaf_digests: Vec<Digest> = leaves.iter().map(|kp| kp.public_key().digest()).collect();
         let tree = MerkleTree::build(&leaf_digests);
         Self {
@@ -114,7 +115,9 @@ impl MerkleSigPublicKey {
             return false;
         }
         // 2. The one-time signature must verify under that key.
-        signature.one_time_pk.verify(message, &signature.one_time_sig)
+        signature
+            .one_time_pk
+            .verify(message, &signature.one_time_sig)
     }
 }
 
@@ -212,10 +215,8 @@ mod tests {
         let keypair = MerkleSigKeyPair::generate(&mut prg, 4);
         let pk = keypair.public_key();
         let sig = keypair.sign(b"wire").unwrap();
-        let pk_back: MerkleSigPublicKey =
-            mpca_wire::from_bytes(&mpca_wire::to_bytes(&pk)).unwrap();
-        let sig_back: MerkleSignature =
-            mpca_wire::from_bytes(&mpca_wire::to_bytes(&sig)).unwrap();
+        let pk_back: MerkleSigPublicKey = mpca_wire::from_bytes(&mpca_wire::to_bytes(&pk)).unwrap();
+        let sig_back: MerkleSignature = mpca_wire::from_bytes(&mpca_wire::to_bytes(&sig)).unwrap();
         assert_eq!(pk_back, pk);
         assert!(pk_back.verify(b"wire", &sig_back));
     }

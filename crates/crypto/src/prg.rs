@@ -191,7 +191,10 @@ mod tests {
         let trials = 10_000;
         let hits = (0..trials).filter(|_| prg.gen_bool(0.25)).count();
         let freq = hits as f64 / trials as f64;
-        assert!((freq - 0.25).abs() < 0.03, "frequency {freq} too far from 0.25");
+        assert!(
+            (freq - 0.25).abs() < 0.03,
+            "frequency {freq} too far from 0.25"
+        );
     }
 
     #[test]

@@ -48,14 +48,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // Write n - 1 = d * 2^r with d odd.
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -157,11 +157,11 @@ mod tests {
         let mut prg = Prg::from_seed_bytes(b"primes");
         for _ in 0..20 {
             let p = random_prime_in_range(&mut prg, 1 << 20, 1 << 21);
-            assert!(p >= 1 << 20 && p < 1 << 21);
+            assert!((1 << 20..1 << 21).contains(&p));
             assert!(is_prime(p));
         }
         let p = random_prime_with_bits(&mut prg, 40);
-        assert!(p >= 1 << 39 && p < 1 << 40);
+        assert!((1 << 39..1 << 40).contains(&p));
         assert!(is_prime(p));
     }
 

@@ -163,8 +163,7 @@ mod tests {
         assert_ne!(ct.body, b"hello");
         let back: SkeCiphertext = mpca_wire::from_bytes(&mpca_wire::to_bytes(&ct)).unwrap();
         assert_eq!(back, ct);
-        let key_back: SymmetricKey =
-            mpca_wire::from_bytes(&mpca_wire::to_bytes(&key)).unwrap();
+        let key_back: SymmetricKey = mpca_wire::from_bytes(&mpca_wire::to_bytes(&key)).unwrap();
         assert_eq!(key_back, key);
     }
 

@@ -234,9 +234,10 @@ mod tests {
         let (params, pk, shares, mut prg) = setup(4);
         let message = b"secret".to_vec();
         let ct = pk.encrypt_bytes(&mut prg, &message);
-        let partials: Vec<PartialDecryption> = (0..3) // one member withholds
-            .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &ct))
-            .collect();
+        let partials: Vec<PartialDecryption> =
+            (0..3) // one member withholds
+                .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &ct))
+                .collect();
         let recovered = combine_partials_to_bytes(&params, &ct, &partials);
         assert_ne!(recovered, Some(message));
     }
@@ -297,6 +298,9 @@ mod tests {
             .map(|j| shares.decryptor(j).partial_decrypt(&mut prg, &acc))
             .collect();
         let chunks = combine_partials(&params, &acc, &partials).unwrap();
-        assert_eq!(chunks[0], values.iter().sum::<u64>() % params.plaintext_modulus);
+        assert_eq!(
+            chunks[0],
+            values.iter().sum::<u64>() % params.plaintext_modulus
+        );
     }
 }

@@ -76,7 +76,10 @@ impl Theorem9CostModel {
         recipients: usize,
         committee: usize,
     ) -> usize {
-        output_bytes.max(1) * 8 * recipients.max(1) * committee.max(1)
+        output_bytes.max(1)
+            * 8
+            * recipients.max(1)
+            * committee.max(1)
             * self.partial_decryption_bytes()
             / 8
     }

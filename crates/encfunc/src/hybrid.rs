@@ -13,14 +13,13 @@
 //! messages exchanged inside the committee, so the communication accounting
 //! of the reproduction matches the paper's statements.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mpca_crypto::lwe::{keygen, LweCiphertext, LweParams, LwePublicKey, LweSecretKey};
 use mpca_crypto::merkle_sig::{MerkleSigKeyPair, MerkleSigPublicKey};
-use mpca_crypto::ske::SymmetricKey;
 use mpca_crypto::sha256::sha256_parts;
+use mpca_crypto::ske::SymmetricKey;
 use mpca_crypto::Prg;
 
 use crate::signing::SignedOutput;
@@ -59,8 +58,11 @@ pub struct EncFuncHost {
     shared_matrix: Option<Vec<u64>>,
 }
 
-/// A shareable handle to the host (single-threaded simulation).
-pub type SharedHost = Rc<RefCell<EncFuncHost>>;
+/// A shareable, thread-safe handle to the host. Committee members of one
+/// session share it; the `mpca-engine` session pool additionally requires
+/// party logics (and hence this handle) to be `Send` so whole sessions can
+/// run on worker threads.
+pub type SharedHost = Arc<Mutex<EncFuncHost>>;
 
 impl EncFuncHost {
     /// Creates a host for `expected_members` committee members.
@@ -109,7 +111,7 @@ impl EncFuncHost {
 
     /// Wraps a host into a shared handle.
     pub fn shared(self) -> SharedHost {
-        Rc::new(RefCell::new(self))
+        Arc::new(Mutex::new(self))
     }
 
     /// The LWE parameters in use.
@@ -168,11 +170,8 @@ impl EncFuncHost {
                 // Regev key generation re-using the CRS matrix: b = A·s + e.
                 let (contribution, decryptor) =
                     crate::keygen::KeygenContribution::generate(&self.params, shared_a, &mut prg);
-                let pk = crate::keygen::combine_contributions(
-                    &self.params,
-                    shared_a,
-                    &[contribution],
-                );
+                let pk =
+                    crate::keygen::combine_contributions(&self.params, shared_a, &[contribution]);
                 let sk = LweSecretKey {
                     params: self.params,
                     s: decryptor.share,
@@ -300,8 +299,7 @@ impl EncFuncHost {
         let mut bundles = Vec::with_capacity(outputs.len());
         for (i, (output, key)) in outputs.iter().zip(keys.iter()).enumerate() {
             let ciphertext = key.encrypt(&mut prg, output);
-            let signature =
-                signing.sign(&SignedOutput::signed_bytes(i, &ciphertext))?;
+            let signature = signing.sign(&SignedOutput::signed_bytes(i, &ciphertext))?;
             bundles.push(SignedOutput {
                 recipient: i,
                 ciphertext,
@@ -414,7 +412,10 @@ mod tests {
         for (i, bundle) in bundles.iter().enumerate() {
             assert_eq!(bundle.recipient, i);
             assert!(bundle.verify(&sig_pk));
-            assert_eq!(keys[i].decrypt(&bundle.ciphertext), Some(expected[i].clone()));
+            assert_eq!(
+                keys[i].decrypt(&bundle.ciphertext),
+                Some(expected[i].clone())
+            );
             // Other parties' keys cannot read it.
             assert_eq!(keys[(i + 1) % n].decrypt(&bundle.ciphertext), None);
         }

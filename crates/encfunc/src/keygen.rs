@@ -47,7 +47,9 @@ impl KeygenContribution {
             params.pk_rows * params.dim,
             "shared matrix has wrong shape"
         );
-        let s: Vec<u64> = (0..params.dim).map(|_| prg.gen_range(params.modulus)).collect();
+        let s: Vec<u64> = (0..params.dim)
+            .map(|_| prg.gen_range(params.modulus))
+            .collect();
         let mask = params.modulus - 1;
         let mut b = Vec::with_capacity(params.pk_rows);
         for row in 0..params.pk_rows {
@@ -241,9 +243,11 @@ mod tests {
             .iter()
             .map(|d| d.partial_decrypt(&mut prg, &acc))
             .collect();
-        let chunks =
-            mpca_crypto::threshold::combine_partials(&params, &acc, &partials).unwrap();
-        assert_eq!(chunks[0], values.iter().sum::<u64>() % params.plaintext_modulus);
+        let chunks = mpca_crypto::threshold::combine_partials(&params, &acc, &partials).unwrap();
+        assert_eq!(
+            chunks[0],
+            values.iter().sum::<u64>() % params.plaintext_modulus
+        );
     }
 
     #[test]

@@ -79,9 +79,7 @@ pub fn aggregate_ciphertexts(
     }
     let mut acc = first;
     for ct in iter {
-        if ct.chunks.len() != acc.chunks.len()
-            || ct.chunks[0].0.len() != acc.chunks[0].0.len()
-        {
+        if ct.chunks.len() != acc.chunks.len() || ct.chunks[0].0.len() != acc.chunks[0].0.len() {
             return None;
         }
         acc.add_assign(ct, params);
@@ -114,10 +112,22 @@ mod tests {
     #[test]
     fn concrete_path_support_matrix() {
         let params = LweParams::default_params(); // 16-bit plaintext chunks
-        assert!(supports_concrete_path(&params, &Functionality::Sum { input_bytes: 1 }));
-        assert!(supports_concrete_path(&params, &Functionality::Sum { input_bytes: 2 }));
-        assert!(!supports_concrete_path(&params, &Functionality::Sum { input_bytes: 4 }));
-        assert!(!supports_concrete_path(&params, &Functionality::Xor { input_bytes: 1 }));
+        assert!(supports_concrete_path(
+            &params,
+            &Functionality::Sum { input_bytes: 1 }
+        ));
+        assert!(supports_concrete_path(
+            &params,
+            &Functionality::Sum { input_bytes: 2 }
+        ));
+        assert!(!supports_concrete_path(
+            &params,
+            &Functionality::Sum { input_bytes: 4 }
+        ));
+        assert!(!supports_concrete_path(
+            &params,
+            &Functionality::Xor { input_bytes: 1 }
+        ));
     }
 
     #[test]

@@ -70,7 +70,12 @@ mod tests {
     use mpca_crypto::ske::SymmetricKey;
     use mpca_crypto::Prg;
 
-    fn bundle(prg: &mut Prg, keypair: &MerkleSigKeyPair, recipient: usize, payload: &[u8]) -> (SignedOutput, SymmetricKey) {
+    fn bundle(
+        prg: &mut Prg,
+        keypair: &MerkleSigKeyPair,
+        recipient: usize,
+        payload: &[u8],
+    ) -> (SignedOutput, SymmetricKey) {
         let key = SymmetricKey::generate(prg);
         let ciphertext = key.encrypt(prg, payload);
         let signature = keypair
@@ -92,7 +97,10 @@ mod tests {
         let keypair = MerkleSigKeyPair::generate(&mut prg, 4);
         let (output, key) = bundle(&mut prg, &keypair, 3, b"you pay 275");
         assert!(output.verify(&keypair.public_key()));
-        assert_eq!(key.decrypt(&output.ciphertext), Some(b"you pay 275".to_vec()));
+        assert_eq!(
+            key.decrypt(&output.ciphertext),
+            Some(b"you pay 275".to_vec())
+        );
     }
 
     #[test]

@@ -238,8 +238,7 @@ impl MultiOutputFunctionality {
                 (0..n)
                     .map(|i| {
                         let next = values[(i + 1) % n];
-                        let delta =
-                            ((values[i] as u128 + (mask + 1) - next as u128) & mask) as u64;
+                        let delta = ((values[i] as u128 + (mask + 1) - next as u128) & mask) as u64;
                         delta.to_le_bytes()[..*input_bytes].to_vec()
                     })
                     .collect()
@@ -274,8 +273,15 @@ mod tests {
     fn xor_evaluation() {
         let f = Functionality::Xor { input_bytes: 3 };
         assert!(f.is_linear());
-        let inputs = vec![vec![0xFF, 0x00, 0x0F], vec![0x0F, 0xAA, 0x0F], vec![0x01, 0x02, 0x03]];
-        assert_eq!(f.evaluate(&inputs), vec![0xFF ^ 0x0F ^ 0x01, 0xAA ^ 0x02, 0x03]);
+        let inputs = vec![
+            vec![0xFF, 0x00, 0x0F],
+            vec![0x0F, 0xAA, 0x0F],
+            vec![0x01, 0x02, 0x03],
+        ];
+        assert_eq!(
+            f.evaluate(&inputs),
+            vec![0xFF ^ 0x0F ^ 0x01, 0xAA ^ 0x02, 0x03]
+        );
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Execution backends: strategies for driving one session's rounds.
+
+use mpca_net::{NetError, PartyLogic, PartyStep, PartyTask, RoundDriver, RunResult, Simulator};
+
+/// Drives one protocol session from start to finish.
+///
+/// Backends differ only in *scheduling*; the simulator's deterministic merge
+/// (ascending party-id order) guarantees every backend produces the same
+/// outcomes, round count and [`CommStats`](mpca_net::CommStats).
+///
+/// `Sync` is required because a [`SessionPool`](crate::SessionPool) shares
+/// one backend across its worker threads.
+pub trait ExecutionBackend: Sync {
+    /// Human-readable backend name for telemetry.
+    fn name(&self) -> &'static str;
+
+    /// Runs `sim` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError::RoundLimitExceeded`] from the simulator.
+    fn execute<L>(&self, sim: Simulator<L>) -> Result<RunResult<L::Output>, NetError>
+    where
+        L: PartyLogic + Send,
+        L::Output: Send;
+}
+
+/// The historical behaviour: every party of every round is stepped in-line
+/// on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sequential;
+
+impl ExecutionBackend for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn execute<L>(&self, sim: Simulator<L>) -> Result<RunResult<L::Output>, NetError>
+    where
+        L: PartyLogic + Send,
+        L::Output: Send,
+    {
+        sim.run()
+    }
+}
+
+/// Steps all honest parties of a round concurrently on scoped threads.
+///
+/// Parties are partitioned into at most `threads` contiguous chunks; each
+/// chunk runs on its own scoped thread. Results are merged by the simulator
+/// in party-id order, so the execution is bit-for-bit identical to
+/// [`Sequential`].
+#[derive(Debug, Clone, Copy)]
+pub struct Parallel {
+    threads: usize,
+}
+
+impl Parallel {
+    /// A backend using up to `threads` threads per round (at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured per-round thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for Parallel {
+    /// Uses the machine's available parallelism.
+    fn default() -> Self {
+        Self::with_threads(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+        )
+    }
+}
+
+impl ExecutionBackend for Parallel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn execute<L>(&self, mut sim: Simulator<L>) -> Result<RunResult<L::Output>, NetError>
+    where
+        L: PartyLogic + Send,
+        L::Output: Send,
+    {
+        let driver = ScopedThreadDriver {
+            threads: self.threads,
+        };
+        while !sim.is_complete() {
+            sim.step_round_with(&driver)?;
+        }
+        sim.into_result()
+    }
+}
+
+/// A [`RoundDriver`] fanning tasks out over `std::thread::scope`.
+#[derive(Debug, Clone, Copy)]
+struct ScopedThreadDriver {
+    threads: usize,
+}
+
+impl RoundDriver for ScopedThreadDriver {
+    fn drive<L>(&self, tasks: Vec<PartyTask<'_, L>>) -> Vec<PartyStep<L::Output>>
+    where
+        L: PartyLogic + Send,
+        L::Output: Send,
+    {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            return tasks.into_iter().map(PartyTask::execute).collect();
+        }
+        let workers = self.threads.min(tasks.len());
+        let chunk_size = tasks.len().div_ceil(workers);
+        let mut tasks = tasks;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            while !tasks.is_empty() {
+                let take = chunk_size.min(tasks.len());
+                let batch: Vec<PartyTask<'_, L>> = tasks.drain(..take).collect();
+                handles.push(scope.spawn(move || {
+                    batch
+                        .into_iter()
+                        .map(PartyTask::execute)
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("party thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpca_net::{Envelope, PartyCtx, PartyId, Step};
+
+    /// Parties exchange values all-to-all for `rounds` rounds, then output a
+    /// running sum — enough traffic to make scheduling differences visible
+    /// if the merge were not deterministic.
+    struct Chatter {
+        id: PartyId,
+        n: usize,
+        rounds: usize,
+        acc: u64,
+    }
+
+    impl PartyLogic for Chatter {
+        type Output = u64;
+
+        fn id(&self) -> PartyId {
+            self.id
+        }
+
+        fn on_round(
+            &mut self,
+            round: usize,
+            incoming: &[Envelope],
+            ctx: &mut PartyCtx,
+        ) -> Step<u64> {
+            for envelope in incoming {
+                self.acc = self.acc.wrapping_add(envelope.decode::<u64>().unwrap_or(0));
+            }
+            if round == self.rounds {
+                return Step::Output(self.acc);
+            }
+            let msg = self.acc.wrapping_add(self.id.index() as u64 + 1);
+            for to in PartyId::all(self.n) {
+                if to != self.id {
+                    ctx.send_msg(to, &msg);
+                }
+            }
+            Step::Continue
+        }
+    }
+
+    fn chatter_sim(n: usize, rounds: usize) -> Simulator<Chatter> {
+        let parties = PartyId::all(n)
+            .map(|id| Chatter {
+                id,
+                n,
+                rounds,
+                acc: 0,
+            })
+            .collect();
+        Simulator::all_honest(n, parties).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        for threads in [1, 2, 3, 8, 64] {
+            let sequential = Sequential.execute(chatter_sim(9, 5)).unwrap();
+            let parallel = Parallel::with_threads(threads)
+                .execute(chatter_sim(9, 5))
+                .unwrap();
+            assert_eq!(
+                sequential.outcomes, parallel.outcomes,
+                "threads = {threads}"
+            );
+            assert_eq!(sequential.stats, parallel.stats, "threads = {threads}");
+            assert_eq!(sequential.rounds, parallel.rounds, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn backends_report_names() {
+        assert_eq!(Sequential.name(), "sequential");
+        assert_eq!(Parallel::default().name(), "parallel");
+        assert!(Parallel::default().threads() >= 1);
+        assert_eq!(Parallel::with_threads(0).threads(), 1);
+    }
+}

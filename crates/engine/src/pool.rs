@@ -1,0 +1,253 @@
+//! The session pool: many independent protocol sessions over a bounded
+//! worker pool.
+
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mpca_net::{NetError, PartyLogic, Simulator};
+
+use crate::backend::ExecutionBackend;
+use crate::report::{BatchReport, SessionReport};
+
+type SessionJob<B> = Box<dyn FnOnce(&B) -> Result<SessionReport, NetError> + Send>;
+
+struct PoolSession<B> {
+    job: SessionJob<B>,
+}
+
+/// Schedules many independent protocol sessions across a bounded worker
+/// pool, driving each with a shared [`ExecutionBackend`].
+///
+/// Sessions are heterogeneous: any mix of protocols and `(n, h)` parameters
+/// can ride in one batch, because each submission captures its own simulator
+/// constructor and results are erased to [`SessionReport`]s. Reports come
+/// back in submission order regardless of completion order.
+pub struct SessionPool<B: ExecutionBackend> {
+    backend: B,
+    workers: usize,
+    sessions: Vec<PoolSession<B>>,
+}
+
+impl<B: ExecutionBackend> SessionPool<B> {
+    /// A pool over `backend` sized to the machine's available parallelism.
+    pub fn new(backend: B) -> Self {
+        Self {
+            backend,
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Bounds the pool to `workers` concurrent sessions (at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Number of sessions submitted so far.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no sessions have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Submits a session.
+    ///
+    /// `build` constructs the session's simulator; it runs on a worker
+    /// thread, so construction cost (keygen, input encryption, …) is part of
+    /// the parallelised work. The session's wall-clock therefore covers
+    /// build + execution.
+    pub fn submit<L, F>(&mut self, label: impl Into<String>, build: F)
+    where
+        L: PartyLogic + Send + 'static,
+        L::Output: Debug + Send,
+        F: FnOnce() -> Result<Simulator<L>, NetError> + Send + 'static,
+    {
+        let job_label = label.into();
+        self.sessions.push(PoolSession {
+            job: Box::new(move |backend: &B| {
+                let start = Instant::now();
+                let sim = build()?;
+                let result = backend.execute(sim)?;
+                Ok(SessionReport::from_result(
+                    job_label,
+                    &result,
+                    start.elapsed(),
+                ))
+            }),
+        });
+    }
+
+    /// Runs every submitted session and aggregates the batch.
+    ///
+    /// # Errors
+    ///
+    /// If any session fails (invalid configuration or round-limit overrun),
+    /// the error of the earliest-submitted failing session is returned; the
+    /// remaining sessions still run to completion.
+    pub fn run(self) -> Result<BatchReport, NetError> {
+        let total = self.sessions.len();
+        let workers = self.workers.min(total).max(1);
+        let backend = &self.backend;
+        let queue: Mutex<VecDeque<(usize, PoolSession<B>)>> =
+            Mutex::new(self.sessions.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<Result<SessionReport, NetError>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = queue.lock().expect("pool queue poisoned").pop_front();
+                    let Some((index, session)) = next else {
+                        break;
+                    };
+                    let outcome = (session.job)(backend);
+                    *slots[index].lock().expect("pool slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        let wall = start.elapsed();
+
+        let mut sessions = Vec::with_capacity(total);
+        for slot in slots {
+            let outcome = slot
+                .into_inner()
+                .expect("pool slot poisoned")
+                .expect("worker pool drained the whole queue");
+            sessions.push(outcome?);
+        }
+        Ok(BatchReport {
+            sessions,
+            wall,
+            workers,
+            backend: self.backend.name(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Parallel, Sequential};
+    use mpca_net::{Envelope, PartyCtx, PartyId, Step};
+
+    /// Each party sends its value once, then outputs the sum of all values.
+    struct SumParty {
+        id: PartyId,
+        n: usize,
+        value: u64,
+    }
+
+    impl PartyLogic for SumParty {
+        type Output = u64;
+
+        fn id(&self) -> PartyId {
+            self.id
+        }
+
+        fn on_round(
+            &mut self,
+            round: usize,
+            incoming: &[Envelope],
+            ctx: &mut PartyCtx,
+        ) -> Step<u64> {
+            if round == 0 {
+                for to in PartyId::all(self.n) {
+                    if to != self.id {
+                        ctx.send_msg(to, &self.value);
+                    }
+                }
+                return Step::Continue;
+            }
+            let sum = incoming
+                .iter()
+                .fold(self.value, |acc, e| acc + e.decode::<u64>().unwrap());
+            Step::Output(sum)
+        }
+    }
+
+    fn sum_sim(n: usize, offset: u64) -> Result<Simulator<SumParty>, NetError> {
+        let parties = PartyId::all(n)
+            .map(|id| SumParty {
+                id,
+                n,
+                value: id.index() as u64 + offset,
+            })
+            .collect();
+        Simulator::all_honest(n, parties)
+    }
+
+    #[test]
+    fn pool_runs_mixed_sizes_in_submission_order() {
+        let mut pool = SessionPool::new(Sequential).with_workers(3);
+        for (i, n) in [5usize, 3, 8, 4, 6].into_iter().enumerate() {
+            pool.submit(format!("sum-{i}"), move || sum_sim(n, i as u64));
+        }
+        assert_eq!(pool.len(), 5);
+        let batch = pool.run().unwrap();
+        assert_eq!(batch.sessions.len(), 5);
+        for (i, session) in batch.sessions.iter().enumerate() {
+            assert_eq!(session.label, format!("sum-{i}"));
+            assert_eq!(session.rounds, 2);
+            assert!(!session.any_abort());
+        }
+        assert_eq!(batch.total_rounds(), 10);
+        assert_eq!(batch.backend, "sequential");
+    }
+
+    #[test]
+    fn pool_results_match_across_backends_and_worker_counts() {
+        let configs: Vec<usize> = vec![3, 4, 5, 6, 7, 8];
+        let run = |workers: usize, parallel: bool| {
+            if parallel {
+                let mut pool = SessionPool::new(Parallel::with_threads(4)).with_workers(workers);
+                for (i, &n) in configs.iter().enumerate() {
+                    pool.submit(format!("s{i}"), move || sum_sim(n, 7));
+                }
+                pool.run().unwrap()
+            } else {
+                let mut pool = SessionPool::new(Sequential).with_workers(workers);
+                for (i, &n) in configs.iter().enumerate() {
+                    pool.submit(format!("s{i}"), move || sum_sim(n, 7));
+                }
+                pool.run().unwrap()
+            }
+        };
+        let reference = run(1, false);
+        for workers in [1, 2, 8] {
+            for parallel in [false, true] {
+                let batch = run(workers, parallel);
+                assert_eq!(
+                    batch.sessions, reference.sessions,
+                    "workers={workers} parallel={parallel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_propagates_build_errors_after_finishing_the_batch() {
+        let mut pool = SessionPool::new(Sequential).with_workers(2);
+        pool.submit("ok", || sum_sim(3, 0));
+        pool.submit("bad", || sum_sim(0, 0)); // n = 0 is invalid
+        pool.submit("ok2", || sum_sim(4, 0));
+        assert!(matches!(pool.run(), Err(NetError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn empty_pool_is_a_valid_batch() {
+        let pool: SessionPool<Sequential> = SessionPool::new(Sequential);
+        assert!(pool.is_empty());
+        let batch = pool.run().unwrap();
+        assert!(batch.sessions.is_empty());
+        assert_eq!(batch.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-session and per-batch telemetry.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::time::Duration;
+
+use mpca_net::{CommStats, PartyId, PartyOutcome, RunResult};
+
+/// A backend-independent digest of one honest party's terminal state.
+///
+/// Pools mix sessions of different protocols (different `Output` types), so
+/// outputs are erased to their canonical `Debug` rendering. The rendering is
+/// deterministic for the `Ord`-based types this workspace uses, which makes
+/// digests comparable across backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutcomeDigest {
+    /// The party produced this output (`Debug` rendering).
+    Output(String),
+    /// The party aborted with this reason (`Display` rendering).
+    Aborted(String),
+}
+
+impl OutcomeDigest {
+    /// Digests a typed outcome.
+    pub fn from_outcome<O: Debug>(outcome: &PartyOutcome<O>) -> Self {
+        match outcome {
+            PartyOutcome::Output(o) => OutcomeDigest::Output(format!("{o:?}")),
+            PartyOutcome::Aborted(reason) => OutcomeDigest::Aborted(reason.to_string()),
+        }
+    }
+
+    /// `true` for [`OutcomeDigest::Aborted`].
+    pub fn is_abort(&self) -> bool {
+        matches!(self, OutcomeDigest::Aborted(_))
+    }
+}
+
+/// The result of one pooled session.
+///
+/// Equality ignores [`SessionReport::wall`]: two reports are equal when the
+/// *execution* (label, outcomes, statistics, rounds) is identical, which is
+/// exactly the determinism property the engine guarantees across backends.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The label the session was submitted under.
+    pub label: String,
+    /// Digest of every honest party's terminal state.
+    pub outcomes: BTreeMap<PartyId, OutcomeDigest>,
+    /// Communication statistics of the execution.
+    pub stats: CommStats,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Wall-clock time of this session (build + execution).
+    pub wall: Duration,
+}
+
+impl PartialEq for SessionReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.outcomes == other.outcomes
+            && self.stats == other.stats
+            && self.rounds == other.rounds
+    }
+}
+
+impl SessionReport {
+    /// Digests a typed [`RunResult`].
+    pub fn from_result<O: Debug>(
+        label: impl Into<String>,
+        result: &RunResult<O>,
+        wall: Duration,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            outcomes: result
+                .outcomes
+                .iter()
+                .map(|(id, outcome)| (*id, OutcomeDigest::from_outcome(outcome)))
+                .collect(),
+            stats: result.stats.clone(),
+            rounds: result.rounds,
+            wall,
+        }
+    }
+
+    /// Total bytes sent in the session.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.total_bytes()
+    }
+
+    /// `true` if at least one honest party aborted.
+    pub fn any_abort(&self) -> bool {
+        self.outcomes.values().any(OutcomeDigest::is_abort)
+    }
+}
+
+/// Aggregated result of a [`SessionPool`](crate::SessionPool) batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-session reports, in submission order.
+    pub sessions: Vec<SessionReport>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Number of workers the batch ran on.
+    pub workers: usize,
+    /// Name of the backend that drove the sessions.
+    pub backend: &'static str,
+}
+
+impl BatchReport {
+    /// Total bytes sent across all sessions.
+    pub fn total_bytes(&self) -> u64 {
+        self.sessions.iter().map(SessionReport::total_bytes).sum()
+    }
+
+    /// Total rounds executed across all sessions.
+    pub fn total_rounds(&self) -> usize {
+        self.sessions.iter().map(|s| s.rounds).sum()
+    }
+
+    /// Batch throughput in sessions per second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.sessions.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Batch throughput in protocol rounds per second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.total_rounds() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The report submitted under `label`, if any.
+    pub fn session(&self, label: &str) -> Option<&SessionReport> {
+        self.sessions.iter().find(|s| s.label == label)
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sessions on {} workers ({} backend): {} rounds, {} bytes, {:.1} sessions/s, {:.0} rounds/s",
+            self.sessions.len(),
+            self.workers,
+            self.backend,
+            self.total_rounds(),
+            self.total_bytes(),
+            self.sessions_per_sec(),
+            self.rounds_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpca_net::AbortReason;
+
+    fn report(label: &str, rounds: usize, wall_ms: u64) -> SessionReport {
+        let mut stats = CommStats::new();
+        stats.record_send(PartyId(0), PartyId(1), 10);
+        stats.set_rounds(rounds);
+        SessionReport {
+            label: label.into(),
+            outcomes: [(PartyId(0), OutcomeDigest::Output("42".into()))].into(),
+            stats,
+            rounds,
+            wall: Duration::from_millis(wall_ms),
+        }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        assert_eq!(report("a", 2, 5), report("a", 2, 500));
+        assert_ne!(report("a", 2, 5), report("a", 3, 5));
+        assert_ne!(report("a", 2, 5), report("b", 2, 5));
+    }
+
+    #[test]
+    fn outcome_digest_classifies() {
+        let output = OutcomeDigest::from_outcome(&PartyOutcome::Output(7u32));
+        let abort = OutcomeDigest::from_outcome::<u32>(&PartyOutcome::Aborted(
+            AbortReason::Malformed("x".into()),
+        ));
+        assert_eq!(output, OutcomeDigest::Output("7".into()));
+        assert!(!output.is_abort());
+        assert!(abort.is_abort());
+    }
+
+    #[test]
+    fn batch_aggregates() {
+        let batch = BatchReport {
+            sessions: vec![report("a", 2, 1), report("b", 3, 1)],
+            wall: Duration::from_millis(100),
+            workers: 4,
+            backend: "parallel",
+        };
+        assert_eq!(batch.total_rounds(), 5);
+        assert_eq!(batch.total_bytes(), 20);
+        assert!(batch.sessions_per_sec() > 19.0 && batch.sessions_per_sec() < 21.0);
+        assert!(batch.session("a").is_some());
+        assert!(batch.session("zzz").is_none());
+        assert!(batch.summary().contains("2 sessions"));
+    }
+}

@@ -41,7 +41,12 @@ impl AdversaryCtx {
     }
 
     /// Sends an encodable message from `from` to `to`.
-    pub fn send_msg_as<T: mpca_wire::Encode + ?Sized>(&mut self, from: PartyId, to: PartyId, msg: &T) {
+    pub fn send_msg_as<T: mpca_wire::Encode + ?Sized>(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        msg: &T,
+    ) {
         self.send_as(from, to, mpca_wire::to_bytes(msg));
     }
 
@@ -52,7 +57,10 @@ impl AdversaryCtx {
 }
 
 /// A static malicious adversary.
-pub trait Adversary {
+///
+/// `Send` is required so whole executions (simulator plus adversary) can be
+/// shipped across worker threads by the `mpca-engine` session pool.
+pub trait Adversary: Send {
     /// The set of corrupted parties (fixed before the execution).
     fn corrupted(&self) -> &BTreeSet<PartyId>;
 
@@ -174,6 +182,11 @@ impl Adversary for FloodAdversary {
     }
 }
 
+/// The envelope-rewrite hook type of a [`ProxyAdversary`]: given the round
+/// and an envelope produced by the honest logic, returns the envelopes to
+/// actually send (empty drops the message).
+pub type RewriteHook = Box<dyn FnMut(usize, &Envelope) -> Vec<Envelope> + Send>;
+
 /// Runs the honest protocol logic for each corrupted party, but passes every
 /// outgoing envelope through a rewrite hook.
 ///
@@ -186,7 +199,7 @@ pub struct ProxyAdversary<L: PartyLogic> {
     n: usize,
     /// Hook applied to each envelope produced by the corrupted parties'
     /// honest logic. Returning an empty vector drops the message.
-    rewrite: Box<dyn FnMut(usize, &Envelope) -> Vec<Envelope>>,
+    rewrite: RewriteHook,
     corrupted: BTreeSet<PartyId>,
 }
 
@@ -205,7 +218,7 @@ impl<L: PartyLogic> ProxyAdversary<L> {
     pub fn new(
         parties: impl IntoIterator<Item = L>,
         n: usize,
-        rewrite: impl FnMut(usize, &Envelope) -> Vec<Envelope> + 'static,
+        rewrite: impl FnMut(usize, &Envelope) -> Vec<Envelope> + Send + 'static,
     ) -> Self {
         let parties: BTreeMap<PartyId, L> = parties.into_iter().map(|p| (p.id(), p)).collect();
         let corrupted = parties.keys().copied().collect();
@@ -224,7 +237,7 @@ impl<L: PartyLogic> ProxyAdversary<L> {
     }
 }
 
-impl<L: PartyLogic> Adversary for ProxyAdversary<L> {
+impl<L: PartyLogic + Send> Adversary for ProxyAdversary<L> {
     fn corrupted(&self) -> &BTreeSet<PartyId> {
         &self.corrupted
     }
@@ -281,9 +294,6 @@ mod tests {
         SilentAdversary::new([PartyId(3)]).on_round(0, &BTreeMap::new(), &mut ctx);
         assert!(ctx.take_outgoing().is_empty());
         assert!(NoAdversary::new().corrupted().is_empty());
-        assert_eq!(
-            SilentAdversary::new([PartyId(3)]).corrupted().len(),
-            1
-        );
+        assert_eq!(SilentAdversary::new([PartyId(3)]).corrupted().len(), 1);
     }
 }

@@ -19,6 +19,14 @@ pub enum NetError {
     /// The configuration was inconsistent (e.g. corrupted set ⊄ party set, or
     /// zero parties).
     InvalidConfig(String),
+    /// A result was requested from an execution that has not finished (some
+    /// honest parties are still running, but the round limit was not hit).
+    ExecutionIncomplete {
+        /// Rounds executed so far.
+        rounds_executed: usize,
+        /// Parties still running.
+        still_running: Vec<PartyId>,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -33,6 +41,14 @@ impl fmt::Display for NetError {
                 still_running.len()
             ),
             NetError::InvalidConfig(s) => write!(f, "invalid simulator configuration: {s}"),
+            NetError::ExecutionIncomplete {
+                rounds_executed,
+                still_running,
+            } => write!(
+                f,
+                "execution incomplete after {rounds_executed} rounds; {} parties still running",
+                still_running.len()
+            ),
         }
     }
 }
@@ -50,6 +66,14 @@ mod tests {
             still_running: vec![PartyId(0)],
         };
         assert!(e.to_string().contains("10 rounds"));
-        assert!(NetError::InvalidConfig("n = 0".into()).to_string().contains("n = 0"));
+        assert!(NetError::InvalidConfig("n = 0".into())
+            .to_string()
+            .contains("n = 0"));
+        let e = NetError::ExecutionIncomplete {
+            rounds_executed: 3,
+            still_running: vec![PartyId(1), PartyId(2)],
+        };
+        assert!(e.to_string().contains("3 rounds"));
+        assert!(e.to_string().contains("2 parties"));
     }
 }

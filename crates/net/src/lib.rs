@@ -42,10 +42,15 @@ pub mod party;
 pub mod simulator;
 pub mod stats;
 
-pub use adversary::{Adversary, AdversaryCtx, FloodAdversary, NoAdversary, ProxyAdversary, SilentAdversary};
+pub use adversary::{
+    Adversary, AdversaryCtx, FloodAdversary, NoAdversary, ProxyAdversary, SilentAdversary,
+};
 pub use crs::CommonRandomString;
 pub use envelope::Envelope;
 pub use error::NetError;
 pub use party::{AbortReason, PartyCtx, PartyId, PartyLogic, Step};
-pub use simulator::{PartyOutcome, RunResult, SimConfig, Simulator};
+pub use simulator::{
+    InlineDriver, PartyOutcome, PartyStep, PartyTask, RoundDriver, RoundReport, RunResult,
+    SimConfig, Simulator,
+};
 pub use stats::CommStats;

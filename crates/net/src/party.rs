@@ -46,7 +46,9 @@ impl Encode for PartyId {
 impl Decode for PartyId {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let v = r.get_uvarint()?;
-        Ok(PartyId(usize::try_from(v).map_err(|_| WireError::LengthOverflow { declared: v })?))
+        Ok(PartyId(
+            usize::try_from(v).map_err(|_| WireError::LengthOverflow { declared: v })?,
+        ))
     }
 }
 
@@ -123,7 +125,12 @@ pub trait PartyLogic {
     fn id(&self) -> PartyId;
 
     /// Processes one synchronous round.
-    fn on_round(&mut self, round: usize, incoming: &[Envelope], ctx: &mut PartyCtx) -> Step<Self::Output>;
+    fn on_round(
+        &mut self,
+        round: usize,
+        incoming: &[Envelope],
+        ctx: &mut PartyCtx,
+    ) -> Step<Self::Output>;
 }
 
 /// Per-round context handed to a party, used to send messages.

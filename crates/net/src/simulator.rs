@@ -56,7 +56,7 @@ impl<O> PartyOutcome<O> {
 }
 
 /// The result of a protocol execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult<O> {
     /// Terminal state of every honest party.
     pub outcomes: BTreeMap<PartyId, PartyOutcome<O>>,
@@ -120,16 +120,123 @@ impl<O: PartialEq + std::fmt::Debug> RunResult<O> {
     }
 }
 
+/// One honest party's pending work for the current round.
+///
+/// Produced by [`Simulator::step_round_with`] and handed to a
+/// [`RoundDriver`], which may execute tasks in any order — or concurrently —
+/// because tasks of one round are independent by construction (messages sent
+/// in round `r` are only delivered in round `r + 1`). The simulator merges
+/// the resulting [`PartyStep`]s back in ascending party-id order, so the
+/// execution (outcomes, statistics, delivery order) is identical no matter
+/// how the driver schedules the tasks.
+#[derive(Debug)]
+pub struct PartyTask<'a, L: PartyLogic> {
+    id: PartyId,
+    round: usize,
+    n: usize,
+    incoming: Vec<Envelope>,
+    logic: &'a mut L,
+}
+
+impl<L: PartyLogic> PartyTask<'_, L> {
+    /// The party this task steps.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// The round being executed.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Runs the party's state machine for this round.
+    pub fn execute(self) -> PartyStep<L::Output> {
+        let mut ctx = PartyCtx::new(self.id, self.n);
+        let step = self.logic.on_round(self.round, &self.incoming, &mut ctx);
+        PartyStep {
+            id: self.id,
+            step,
+            outgoing: ctx.take_outgoing(),
+        }
+    }
+}
+
+/// The result of executing one [`PartyTask`].
+#[derive(Debug)]
+pub struct PartyStep<O> {
+    /// The party that was stepped.
+    pub id: PartyId,
+    /// The state-machine transition the party took.
+    pub step: Step<O>,
+    /// Envelopes the party queued for delivery next round.
+    pub outgoing: Vec<Envelope>,
+}
+
+/// Executes the independent per-party tasks of one round.
+///
+/// Implementations choose the schedule (in-line, thread pool, …); the
+/// simulator guarantees determinism by merging results in party-id order, so
+/// a driver only has to return every task's [`PartyStep`] exactly once.
+pub trait RoundDriver {
+    /// Executes every task, returning their steps in any order.
+    fn drive<L>(&self, tasks: Vec<PartyTask<'_, L>>) -> Vec<PartyStep<L::Output>>
+    where
+        L: PartyLogic + Send,
+        L::Output: Send;
+}
+
+/// The trivial driver: executes tasks one by one on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlineDriver;
+
+impl RoundDriver for InlineDriver {
+    fn drive<L>(&self, tasks: Vec<PartyTask<'_, L>>) -> Vec<PartyStep<L::Output>>
+    where
+        L: PartyLogic + Send,
+        L::Output: Send,
+    {
+        tasks.into_iter().map(PartyTask::execute).collect()
+    }
+}
+
+/// What one call to [`Simulator::step_round`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundReport {
+    /// The 0-based round that was executed.
+    pub round: usize,
+    /// Honest parties that terminated (output or abort) during this round.
+    pub newly_terminated: Vec<PartyId>,
+    /// Bytes charged to the communication statistics during this round.
+    pub bytes_recorded: u64,
+    /// `true` once every honest party has terminated.
+    pub done: bool,
+}
+
 /// The synchronous network simulator.
 ///
 /// Messages sent in round `r` are delivered at the start of round `r + 1`;
 /// round `0` starts with empty inboxes. The execution ends when every honest
 /// party has terminated (output or abort), or errs when `max_rounds` is hit.
+///
+/// Two driving styles are supported:
+///
+/// * [`Simulator::run`] — one-shot, consuming the simulator (the historical
+///   API, now a thin loop over `step_round`);
+/// * [`Simulator::step_round`] / [`Simulator::step_round_with`] — incremental
+///   round stepping for execution backends (see the `mpca-engine` crate),
+///   with [`Simulator::into_result`] to finish.
 pub struct Simulator<L: PartyLogic> {
     n: usize,
     honest: BTreeMap<PartyId, L>,
     adversary: Box<dyn Adversary>,
+    /// Snapshot of the adversary's (static) corruption set, taken at
+    /// construction so rounds don't re-clone it.
+    corrupted: BTreeSet<PartyId>,
     config: SimConfig,
+    round: usize,
+    stats: CommStats,
+    outcomes: BTreeMap<PartyId, PartyOutcome<L::Output>>,
+    inboxes: BTreeMap<PartyId, Vec<Envelope>>,
 }
 
 impl<L: PartyLogic> std::fmt::Debug for Simulator<L> {
@@ -190,7 +297,12 @@ impl<L: PartyLogic> Simulator<L> {
             n,
             honest,
             adversary,
+            corrupted,
             config,
+            round: 0,
+            stats: CommStats::new(),
+            outcomes: BTreeMap::new(),
+            inboxes: BTreeMap::new(),
         })
     }
 
@@ -208,6 +320,92 @@ impl<L: PartyLogic> Simulator<L> {
         )
     }
 
+    /// `true` once every honest party has terminated (and at least one round
+    /// has run, matching the end-of-round completion check of `run`).
+    pub fn is_complete(&self) -> bool {
+        self.round > 0 && self.outcomes.len() == self.honest.len()
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_executed(&self) -> usize {
+        self.round
+    }
+
+    /// Honest parties that have not terminated yet, in id order.
+    fn still_running(&self) -> Vec<PartyId> {
+        self.honest
+            .keys()
+            .filter(|id| !self.outcomes.contains_key(id))
+            .copied()
+            .collect()
+    }
+
+    /// Executes one synchronous round in-line on the calling thread.
+    ///
+    /// Stepping an already-complete execution is a no-op reporting
+    /// `done: true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RoundLimitExceeded`] if the execution is not
+    /// complete and `max_rounds` rounds have already run.
+    pub fn step_round(&mut self) -> Result<RoundReport, NetError> {
+        match self.begin_round()? {
+            None => Ok(self.noop_report()),
+            Some(tasks) => {
+                let steps: Vec<PartyStep<L::Output>> =
+                    tasks.into_iter().map(PartyTask::execute).collect();
+                Ok(self.complete_round(steps))
+            }
+        }
+    }
+
+    /// Executes one synchronous round, delegating the independent per-party
+    /// tasks to `driver` (which may run them concurrently). The merge back
+    /// into simulator state is always in ascending party-id order, so any
+    /// correct driver produces an execution bit-for-bit identical to
+    /// [`Simulator::step_round`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RoundLimitExceeded`] if the execution is not
+    /// complete and `max_rounds` rounds have already run.
+    pub fn step_round_with<D: RoundDriver>(&mut self, driver: &D) -> Result<RoundReport, NetError>
+    where
+        L: Send,
+        L::Output: Send,
+    {
+        match self.begin_round()? {
+            None => Ok(self.noop_report()),
+            Some(tasks) => {
+                let steps = driver.drive(tasks);
+                Ok(self.complete_round(steps))
+            }
+        }
+    }
+
+    /// Consumes the simulator and returns the execution result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ExecutionIncomplete`] if honest parties have not
+    /// all terminated yet (the round *limit* is enforced by `step_round`,
+    /// not here — finishing early is not a limit overrun).
+    pub fn into_result(self) -> Result<RunResult<L::Output>, NetError> {
+        if self.is_complete() {
+            Ok(RunResult {
+                outcomes: self.outcomes,
+                stats: self.stats,
+                rounds: self.round,
+            })
+        } else {
+            Err(NetError::ExecutionIncomplete {
+                rounds_executed: self.round,
+                still_running: self.still_running(),
+            })
+        }
+    }
+
     /// Runs the execution to completion.
     ///
     /// # Errors
@@ -216,87 +414,132 @@ impl<L: PartyLogic> Simulator<L> {
     /// running after `max_rounds` rounds — this always indicates a protocol
     /// implementation bug, never a legal protocol outcome.
     pub fn run(mut self) -> Result<RunResult<L::Output>, NetError> {
-        let mut stats = CommStats::new();
-        let mut outcomes: BTreeMap<PartyId, PartyOutcome<L::Output>> = BTreeMap::new();
-        let mut inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
-        let corrupted = self.adversary.corrupted().clone();
+        while !self.is_complete() {
+            self.step_round()?;
+        }
+        self.into_result()
+    }
 
-        for round in 0..self.config.max_rounds {
-            let mut next_inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
+    /// Prepares this round's tasks, or `None` when already complete.
+    ///
+    /// Each pending honest party's inbox is drained into a task; terminated
+    /// parties are skipped (their deliveries are discarded when the round is
+    /// merged).
+    fn begin_round(&mut self) -> Result<Option<Vec<PartyTask<'_, L>>>, NetError> {
+        if self.is_complete() {
+            return Ok(None);
+        }
+        if self.round >= self.config.max_rounds {
+            return Err(NetError::RoundLimitExceeded {
+                max_rounds: self.config.max_rounds,
+                still_running: self.still_running(),
+            });
+        }
+        let round = self.round;
+        let n = self.n;
+        let outcomes = &self.outcomes;
+        let inboxes = &mut self.inboxes;
+        let tasks: Vec<PartyTask<'_, L>> = self
+            .honest
+            .iter_mut()
+            .filter(|(id, _)| !outcomes.contains_key(id))
+            .map(|(&id, logic)| PartyTask {
+                id,
+                round,
+                n,
+                incoming: inboxes.remove(&id).unwrap_or_default(),
+                logic,
+            })
+            .collect();
+        Ok(Some(tasks))
+    }
 
-            // Honest parties act on this round's deliveries.
-            for (&id, logic) in self.honest.iter_mut() {
-                if outcomes.contains_key(&id) {
-                    continue;
-                }
-                let incoming = inboxes.remove(&id).unwrap_or_default();
-                let mut ctx = PartyCtx::new(id, self.n);
-                let step = logic.on_round(round, &incoming, &mut ctx);
-                for envelope in ctx.take_outgoing() {
-                    stats.record_send(envelope.from, envelope.to, envelope.payload_len());
-                    next_inboxes.entry(envelope.to).or_default().push(envelope);
-                }
-                match step {
-                    Step::Continue => {}
-                    Step::Output(output) => {
-                        outcomes.insert(id, PartyOutcome::Output(output));
-                    }
-                    Step::Abort(reason) => {
-                        outcomes.insert(id, PartyOutcome::Aborted(reason));
-                    }
-                }
-            }
+    /// Merges the executed steps back into simulator state and runs the
+    /// adversary phase, advancing to the next round.
+    ///
+    /// Steps are merged in ascending party-id order regardless of the order
+    /// the driver returned them in, which keeps statistics accumulation and
+    /// message delivery deterministic.
+    fn complete_round(&mut self, mut steps: Vec<PartyStep<L::Output>>) -> RoundReport {
+        let round = self.round;
+        let bytes_before = self.stats.total_bytes();
+        let mut newly_terminated = Vec::new();
+        let mut next_inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
 
-            // The adversary sees everything delivered to corrupted parties
-            // this round and injects messages for next round.
-            let delivered_to_corrupted: BTreeMap<PartyId, Vec<Envelope>> = corrupted
-                .iter()
-                .map(|id| (*id, inboxes.remove(id).unwrap_or_default()))
-                .collect();
-            let mut adv_ctx = AdversaryCtx::new();
-            self.adversary
-                .on_round(round, &delivered_to_corrupted, &mut adv_ctx);
-            for envelope in adv_ctx.take_outgoing() {
-                // Channels are authenticated: the adversary can only speak as
-                // parties it actually corrupted.
-                if !corrupted.contains(&envelope.from) {
-                    continue;
-                }
-                if envelope.to.index() >= self.n {
-                    continue;
-                }
-                if self.config.count_adversary_bytes {
-                    stats.record_send(envelope.from, envelope.to, envelope.payload_len());
-                }
+        steps.sort_by_key(|s| s.id);
+        for party_step in steps {
+            for envelope in party_step.outgoing {
+                self.stats
+                    .record_send(envelope.from, envelope.to, envelope.payload_len());
                 next_inboxes.entry(envelope.to).or_default().push(envelope);
             }
-
-            // Deterministic delivery order: sort by sender id.
-            for queue in next_inboxes.values_mut() {
-                queue.sort_by_key(|e| e.from);
-            }
-            inboxes = next_inboxes;
-
-            if outcomes.len() == self.honest.len() {
-                stats.set_rounds(round + 1);
-                return Ok(RunResult {
-                    outcomes,
-                    stats,
-                    rounds: round + 1,
-                });
+            match party_step.step {
+                Step::Continue => {}
+                Step::Output(output) => {
+                    self.outcomes
+                        .insert(party_step.id, PartyOutcome::Output(output));
+                    newly_terminated.push(party_step.id);
+                }
+                Step::Abort(reason) => {
+                    self.outcomes
+                        .insert(party_step.id, PartyOutcome::Aborted(reason));
+                    newly_terminated.push(party_step.id);
+                }
             }
         }
 
-        let still_running: Vec<PartyId> = self
-            .honest
-            .keys()
-            .filter(|id| !outcomes.contains_key(id))
-            .copied()
+        // The adversary sees everything delivered to corrupted parties this
+        // round and injects messages for next round.
+        let delivered_to_corrupted: BTreeMap<PartyId, Vec<Envelope>> = self
+            .corrupted
+            .iter()
+            .map(|id| (*id, self.inboxes.remove(id).unwrap_or_default()))
             .collect();
-        Err(NetError::RoundLimitExceeded {
-            max_rounds: self.config.max_rounds,
-            still_running,
-        })
+        let mut adv_ctx = AdversaryCtx::new();
+        self.adversary
+            .on_round(round, &delivered_to_corrupted, &mut adv_ctx);
+        for envelope in adv_ctx.take_outgoing() {
+            // Channels are authenticated: the adversary can only speak as
+            // parties it actually corrupted.
+            if !self.corrupted.contains(&envelope.from) {
+                continue;
+            }
+            if envelope.to.index() >= self.n {
+                continue;
+            }
+            if self.config.count_adversary_bytes {
+                self.stats
+                    .record_send(envelope.from, envelope.to, envelope.payload_len());
+            }
+            next_inboxes.entry(envelope.to).or_default().push(envelope);
+        }
+
+        // Deterministic delivery order: sort by sender id.
+        for queue in next_inboxes.values_mut() {
+            queue.sort_by_key(|e| e.from);
+        }
+        self.inboxes = next_inboxes;
+        self.round = round + 1;
+
+        let done = self.outcomes.len() == self.honest.len();
+        if done {
+            self.stats.set_rounds(self.round);
+        }
+        RoundReport {
+            round,
+            newly_terminated,
+            bytes_recorded: self.stats.total_bytes() - bytes_before,
+            done,
+        }
+    }
+
+    fn noop_report(&self) -> RoundReport {
+        RoundReport {
+            round: self.round.saturating_sub(1),
+            newly_terminated: Vec::new(),
+            bytes_recorded: 0,
+            done: true,
+        }
     }
 }
 
@@ -347,9 +590,7 @@ mod tests {
                     for envelope in incoming {
                         match envelope.decode::<u64>() {
                             Ok(v) => sum += v,
-                            Err(e) => {
-                                return Step::Abort(AbortReason::Malformed(e.to_string()))
-                            }
+                            Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
                         }
                     }
                     Step::Output(sum)

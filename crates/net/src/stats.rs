@@ -13,7 +13,7 @@ use crate::party::PartyId;
 /// measures all-honest executions for those headline numbers; in adversarial
 /// executions the honest-only aggregates remain available for sanity checks
 /// (e.g. flooding by the adversary must not inflate the reported complexity).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Bytes sent, per sender.
     bytes_sent: BTreeMap<PartyId, u64>,
@@ -81,11 +81,7 @@ impl CommStats {
 
     /// The set of peers `party` communicated with (sent to or received from).
     pub fn peers_of(&self, party: PartyId) -> BTreeSet<PartyId> {
-        let mut peers: BTreeSet<PartyId> = self
-            .sent_to
-            .get(&party)
-            .cloned()
-            .unwrap_or_default();
+        let mut peers: BTreeSet<PartyId> = self.sent_to.get(&party).cloned().unwrap_or_default();
         if let Some(received) = self.received_from.get(&party) {
             peers.extend(received.iter().copied());
         }
@@ -129,7 +125,10 @@ impl CommStats {
             *self.messages_sent.entry(*party).or_default() += msgs;
         }
         for (party, peers) in &other.sent_to {
-            self.sent_to.entry(*party).or_default().extend(peers.iter().copied());
+            self.sent_to
+                .entry(*party)
+                .or_default()
+                .extend(peers.iter().copied());
         }
         for (party, peers) in &other.received_from {
             self.received_from

@@ -337,7 +337,10 @@ mod tests {
 
     #[test]
     fn invalid_bool_and_option_discriminants() {
-        assert!(matches!(from_bytes::<bool>(&[2]), Err(WireError::InvalidBool(2))));
+        assert!(matches!(
+            from_bytes::<bool>(&[2]),
+            Err(WireError::InvalidBool(2))
+        ));
         assert!(matches!(
             from_bytes::<Option<u8>>(&[3]),
             Err(WireError::InvalidDiscriminant { .. })

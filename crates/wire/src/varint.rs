@@ -130,7 +130,10 @@ mod tests {
             decode_uvarint(&[0x80]),
             Err(WireError::UnexpectedEof { .. })
         ));
-        assert!(matches!(decode_uvarint(&[]), Err(WireError::UnexpectedEof { .. })));
+        assert!(matches!(
+            decode_uvarint(&[]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

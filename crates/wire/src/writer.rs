@@ -110,8 +110,8 @@ mod tests {
         assert_eq!(
             w.as_bytes(),
             &[
-                0xAB, 0x02, 0x01, 0x06, 0x05, 0x04, 0x03, 0x0E, 0x0D, 0x0C, 0x0B, 0x0A, 0x09,
-                0x08, 0x07
+                0xAB, 0x02, 0x01, 0x06, 0x05, 0x04, 0x03, 0x0E, 0x0D, 0x0C, 0x0B, 0x0A, 0x09, 0x08,
+                0x07
             ]
         );
     }

@@ -48,7 +48,8 @@ fn main() {
 
     // Theorem 2: sparse gossip MPC.
     let crs = CommonRandomString::from_label(b"vote-theorem-2");
-    let parties = local_mpc::local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
+    let parties =
+        local_mpc::local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
     let r2 = Simulator::all_honest(n, parties).unwrap().run().unwrap();
     report("Theorem 2 (sparse gossip MPC)", &r2, expected);
 

@@ -26,7 +26,14 @@ fn main() {
 
     let crs = CommonRandomString::from_label(b"private-auction");
     let host = multi_output_host(&params, &functionality, &crs);
-    let parties = multi_output_parties(&params, &functionality, &inputs, crs, host, &BTreeSet::new());
+    let parties = multi_output_parties(
+        &params,
+        &functionality,
+        &inputs,
+        crs,
+        host,
+        &BTreeSet::new(),
+    );
 
     let result = Simulator::all_honest(n, parties)
         .expect("valid configuration")

@@ -48,7 +48,10 @@ fn main() {
     println!("== MPC with abort: committee protocol (Theorem 1) ==");
     println!("parties (n)                : {n}");
     println!("honest lower bound (h)     : {h}");
-    println!("rounds                     : {} (fixed schedule: {ROUNDS})", result.rounds);
+    println!(
+        "rounds                     : {} (fixed schedule: {ROUNDS})",
+        result.rounds
+    );
     println!("total payroll (computed)   : {total}");
     println!("total payroll (expected)   : {expected}");
     println!("honest communication       : {} bits", result.honest_bits());

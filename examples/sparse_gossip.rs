@@ -23,7 +23,10 @@ fn main() {
 
     // Phase 1: establish the routing graph.
     let parties = sparse_parties(&params, b"sparse-gossip-example", &BTreeSet::new());
-    let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let result = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(!result.any_abort());
     let graph: BTreeMap<PartyId, BTreeSet<PartyId>> = result
         .outcomes
@@ -34,8 +37,14 @@ fn main() {
         })
         .collect();
     let max_degree = graph.values().map(BTreeSet::len).max().unwrap();
-    println!("graph built: max degree {max_degree}, connected: {}", honest_subgraph_connected(&graph));
-    println!("graph-establishment communication: {} bits", result.honest_bits());
+    println!(
+        "graph built: max degree {max_degree}, connected: {}",
+        honest_subgraph_connected(&graph)
+    );
+    println!(
+        "graph-establishment communication: {} bits",
+        result.honest_bits()
+    );
 
     // Phase 2: gossip one 8-byte input per party over the graph.
     let parties: Vec<GossipParty> = graph
@@ -49,10 +58,17 @@ fn main() {
             )
         })
         .collect();
-    let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let result = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(!result.any_abort());
     let view = result.unanimous_output().expect("honest gossip agrees");
     println!("gossip delivered {} inputs to every party", view.len());
     println!("gossip communication: {} bits", result.honest_bits());
-    println!("gossip locality: {} (vs {} for a clique)", result.honest_locality(), params.n - 1);
+    println!(
+        "gossip locality: {} (vs {} for a clique)",
+        result.honest_locality(),
+        params.n - 1
+    );
 }

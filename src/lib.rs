@@ -16,7 +16,10 @@
 //! * [`circuits`] — boolean-circuit workloads,
 //! * [`encfunc`] — the encrypted functionality `F[PKE, f]` of the paper,
 //! * [`protocols`] — the paper's protocols (Theorems 1, 2 and 4, the
-//!   baselines, and the Theorem 3 lower-bound attack).
+//!   baselines, and the Theorem 3 lower-bound attack),
+//! * [`engine`] — the batch-execution runtime: sequential/parallel
+//!   round-stepping backends and a [`SessionPool`](engine::SessionPool) for
+//!   running fleets of sessions concurrently with deterministic results.
 //!
 //! ## Quickstart
 //!
@@ -51,5 +54,6 @@ pub use mpca_circuits as circuits;
 pub use mpca_core as protocols;
 pub use mpca_crypto as crypto;
 pub use mpca_encfunc as encfunc;
+pub use mpca_engine as engine;
 pub use mpca_net as net;
 pub use mpca_wire as wire;

@@ -41,13 +41,20 @@ fn theorem_1_2_and_4_agree_on_the_same_workload() {
         None,
         &BTreeSet::new(),
     );
-    let r1 = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let r1 = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(r1.unanimous_output(), Some(&expected));
 
     // Theorem 2.
     let crs = CommonRandomString::from_label(b"it-thm2");
-    let parties = local_mpc::local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
-    let r2 = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let parties =
+        local_mpc::local_mpc_parties(&params, &functionality, &inputs, crs, &BTreeSet::new());
+    let r2 = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(r2.unanimous_output(), Some(&expected));
 
     // Theorem 4.
@@ -61,7 +68,10 @@ fn theorem_1_2_and_4_agree_on_the_same_workload() {
         None,
         &BTreeSet::new(),
     );
-    let r4 = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let r4 = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(r4.unanimous_output(), Some(&expected));
 
     // The qualitative shape of the bounds: Theorem 1 uses the least
@@ -83,7 +93,9 @@ fn committee_protocol_with_silent_adversary_is_correct_with_abort() {
         .iter()
         .enumerate()
         .filter(|(i, _)| !corrupted.contains(&PartyId(*i)))
-        .fold(0u16, |a, (_, v)| a.wrapping_add(u16::from_le_bytes([v[0], v[1]])));
+        .fold(0u16, |a, (_, v)| {
+            a.wrapping_add(u16::from_le_bytes([v[0], v[1]]))
+        });
     let crs = CommonRandomString::from_label(b"it-silent");
     let parties = mpc::mpc_parties(
         &params,
@@ -129,7 +141,10 @@ fn hybrid_path_supports_general_circuits() {
         Some(host),
         &BTreeSet::new(),
     );
-    let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let result = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(result.unanimous_output(), Some(&expected));
 }
 
@@ -142,9 +157,18 @@ fn multi_output_auction_end_to_end() {
     let expected = functionality.evaluate(&inputs);
     let crs = CommonRandomString::from_label(b"it-auction");
     let host = multi_output::multi_output_host(&params, &functionality, &crs);
-    let parties =
-        multi_output::multi_output_parties(&params, &functionality, &inputs, crs, host, &BTreeSet::new());
-    let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+    let parties = multi_output::multi_output_parties(
+        &params,
+        &functionality,
+        &inputs,
+        crs,
+        host,
+        &BTreeSet::new(),
+    );
+    let result = Simulator::all_honest(params.n, parties)
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(!result.any_abort());
     for id in PartyId::all(params.n) {
         assert_eq!(
@@ -201,7 +225,10 @@ fn communication_scaling_matches_theorem_1_shape() {
             None,
             &BTreeSet::new(),
         );
-        let result = Simulator::all_honest(params.n, parties).unwrap().run().unwrap();
+        let result = Simulator::all_honest(params.n, parties)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(result.unanimous_output(), Some(&expected));
         let bits = result.honest_bits();
         if let Some(prev) = previous {

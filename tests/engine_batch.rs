@@ -1,0 +1,194 @@
+//! The engine acceptance test: a ≥20-session mixed-protocol batch on the
+//! `SessionPool` with the `Parallel` backend must produce per-session
+//! outcomes and `CommStats` byte-identical to sequential single-session
+//! runs.
+
+use std::collections::BTreeSet;
+
+use mpc_aborts::crypto::lwe::LweParams;
+use mpc_aborts::crypto::Prg;
+use mpc_aborts::encfunc::Functionality;
+use mpc_aborts::engine::{ExecutionBackend, Parallel, Sequential, SessionPool, SessionReport};
+use mpc_aborts::net::{CommonRandomString, PartyId, Simulator};
+use mpc_aborts::protocols::{
+    all_to_all, broadcast, equality, local_mpc, mpc, tradeoff, ExecutionPath, ProtocolParams,
+};
+
+fn sum_params(n: usize, h: usize) -> ProtocolParams {
+    ProtocolParams::new(n, h).with_lwe(LweParams {
+        plaintext_modulus: 1 << 16,
+        ..LweParams::toy()
+    })
+}
+
+fn sum_inputs(n: usize) -> Vec<Vec<u8>> {
+    (0..n as u16)
+        .map(|i| (i * 31 + 5).to_le_bytes().to_vec())
+        .collect()
+}
+
+/// Submits the full mixed-protocol fleet (≥ 20 sessions, five different
+/// protocols, varied `(n, h)`) to `pool`. Every submission is deterministic,
+/// so two pools loaded by this function describe identical work.
+fn submit_fleet<B: ExecutionBackend>(pool: &mut SessionPool<B>) {
+    // Theorems 1, 2 and 4 across an (n, h) grid: 9 sessions.
+    for (n, h) in [(12usize, 6usize), (16, 8), (20, 10)] {
+        let (params, inputs) = (sum_params(n, h), sum_inputs(n));
+        let functionality = Functionality::Sum { input_bytes: 2 };
+
+        let (p, f, i) = (params, functionality.clone(), inputs.clone());
+        pool.submit(format!("thm1-n{n}-h{h}"), move || {
+            let crs = CommonRandomString::from_label(format!("batch-1-{n}-{h}").as_bytes());
+            let parties = mpc::mpc_parties(
+                &p,
+                &f,
+                ExecutionPath::Concrete,
+                &i,
+                crs,
+                None,
+                &BTreeSet::new(),
+            );
+            Simulator::all_honest(n, parties)
+        });
+
+        let (p, f, i) = (params, functionality.clone(), inputs.clone());
+        pool.submit(format!("thm2-n{n}-h{h}"), move || {
+            let crs = CommonRandomString::from_label(format!("batch-2-{n}-{h}").as_bytes());
+            Simulator::all_honest(
+                n,
+                local_mpc::local_mpc_parties(&p, &f, &i, crs, &BTreeSet::new()),
+            )
+        });
+
+        pool.submit(format!("thm4-n{n}-h{h}"), move || {
+            let crs = CommonRandomString::from_label(format!("batch-4-{n}-{h}").as_bytes());
+            let parties = tradeoff::tradeoff_parties(
+                &params,
+                &functionality,
+                ExecutionPath::Concrete,
+                &inputs,
+                crs,
+                None,
+                &BTreeSet::new(),
+            );
+            Simulator::all_honest(n, parties)
+        });
+    }
+
+    // Single-source broadcast: 4 sessions.
+    for n in [8usize, 12, 16, 24] {
+        pool.submit(format!("broadcast-n{n}"), move || {
+            let message = vec![n as u8; 48];
+            let parties = broadcast::broadcast_parties(n, PartyId(1), message, &BTreeSet::new());
+            Simulator::all_honest(n, parties)
+        });
+    }
+
+    // Two-party equality tests over growing strings: 4 sessions.
+    for len in [64usize, 256, 1024, 4096] {
+        pool.submit(format!("equality-{len}"), move || {
+            let prg = Prg::from_seed_bytes(format!("batch-eq-{len}").as_bytes());
+            let data = vec![0x5Au8; len];
+            let parties = vec![
+                equality::EqualityParty::new(
+                    PartyId(0),
+                    PartyId(1),
+                    24,
+                    data.clone(),
+                    prg.derive(b"p0"),
+                ),
+                equality::EqualityParty::new(PartyId(1), PartyId(0), 24, data, prg.derive(b"p1")),
+            ];
+            Simulator::all_honest(2, parties)
+        });
+    }
+
+    // Succinct all-to-all broadcast: 4 sessions.
+    for n in [6usize, 8, 10, 12] {
+        pool.submit(format!("all-to-all-n{n}"), move || {
+            let inputs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 32]).collect();
+            let parties = all_to_all::succinct_parties(
+                &inputs,
+                20,
+                format!("batch-a2a-{n}").as_bytes(),
+                &BTreeSet::new(),
+            );
+            Simulator::all_honest(n, parties)
+        });
+    }
+}
+
+#[test]
+fn parallel_pool_matches_sequential_single_session_runs() {
+    let mut pooled = SessionPool::new(Parallel::with_threads(4)).with_workers(8);
+    submit_fleet(&mut pooled);
+    assert!(
+        pooled.len() >= 20,
+        "acceptance requires a ≥20-session batch"
+    );
+
+    // The reference: the same fleet as sequential single-session runs (one
+    // worker, sequential backend — exactly the historical execution mode).
+    let mut reference = SessionPool::new(Sequential).with_workers(1);
+    submit_fleet(&mut reference);
+
+    let pooled = pooled.run().expect("parallel batch");
+    let reference = reference.run().expect("sequential reference");
+
+    assert_eq!(pooled.sessions.len(), reference.sessions.len());
+    for (parallel, sequential) in pooled.sessions.iter().zip(&reference.sessions) {
+        // SessionReport equality covers label, every party's outcome digest,
+        // the full CommStats (bytes, messages, per-peer contact sets,
+        // rounds) and the round count — wall-clock is excluded.
+        assert_eq!(parallel, sequential, "session {}", parallel.label);
+    }
+
+    // No honest party aborts anywhere in an all-honest fleet.
+    assert!(pooled.sessions.iter().all(|s| !s.any_abort()));
+}
+
+#[test]
+fn pooled_session_matches_direct_simulator_run() {
+    // Spot-check against the plain `Simulator::run` path (no engine at all):
+    // the pool must not change what a session computes.
+    let n = 16;
+    let (params, inputs) = (sum_params(n, 8), sum_inputs(n));
+    let functionality = Functionality::Sum { input_bytes: 2 };
+    let build = |label: &str| {
+        let crs = CommonRandomString::from_label(label.as_bytes());
+        let parties = mpc::mpc_parties(
+            &params,
+            &functionality,
+            ExecutionPath::Concrete,
+            &inputs,
+            crs,
+            None,
+            &BTreeSet::new(),
+        );
+        Simulator::all_honest(n, parties).unwrap()
+    };
+
+    let direct = build("spot").run().unwrap();
+
+    let mut pool = SessionPool::new(Parallel::with_threads(3)).with_workers(2);
+    let (p, f, i) = (params, functionality.clone(), inputs.clone());
+    pool.submit("spot", move || {
+        let crs = CommonRandomString::from_label(b"spot");
+        let parties = mpc::mpc_parties(
+            &p,
+            &f,
+            ExecutionPath::Concrete,
+            &i,
+            crs,
+            None,
+            &BTreeSet::new(),
+        );
+        Simulator::all_honest(n, parties)
+    });
+    let batch = pool.run().unwrap();
+
+    let expected = SessionReport::from_result("spot", &direct, std::time::Duration::ZERO);
+    assert_eq!(batch.sessions[0], expected);
+    assert_eq!(batch.session("spot").unwrap().rounds, direct.rounds);
+    assert_eq!(batch.total_bytes(), direct.stats.total_bytes());
+}

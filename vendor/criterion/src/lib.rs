@@ -1,0 +1,198 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses. The build environment has no access to crates.io, so this crate
+//! provides a minimal wall-clock benchmark runner with the same surface:
+//! `Criterion`, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros. It reports mean ns/iter to stdout and performs
+//! no statistical analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self.default_sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iterations += 1;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        ..Bencher::default()
+    };
+    f(&mut bencher);
+    if bencher.iterations > 0 {
+        let mean = bencher.total_nanos / u128::from(bencher.iterations);
+        println!(
+            "bench {label}: {mean} ns/iter ({} iters)",
+            bencher.iterations
+        );
+    } else {
+        println!("bench {label}: no iterations recorded");
+    }
+}
+
+/// Bundles benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &5u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("n32").to_string(), "n32");
+    }
+}

@@ -1,0 +1,82 @@
+//! `any::<T>()`: the canonical whole-domain strategy for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// A strategy generating any value of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_types_use_all_bits() {
+        let mut rng = TestRng::from_name("wide");
+        let mut high_bits = 0u128;
+        for _ in 0..32 {
+            high_bits |= u128::arbitrary(&mut rng) >> 64;
+        }
+        assert_ne!(high_bits, 0, "upper 64 bits of u128 must be populated");
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = TestRng::from_name("bools");
+        let trues = (0..100).filter(|_| bool::arbitrary(&mut rng)).count();
+        assert!(trues > 10 && trues < 90);
+    }
+}

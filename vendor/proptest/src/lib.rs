@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses. The build environment has no access to crates.io, so this crate
+//! vendors a deterministic, non-shrinking property-testing harness with the
+//! same surface syntax: the `proptest!` macro, `any::<T>()`, integer-range
+//! and tuple strategies, `proptest::collection::{vec, btree_map, btree_set}`,
+//! `proptest::option::of`, a `.{a,b}` regex-string strategy, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: failing cases are not shrunk (the failing
+//! input values are printed instead), and case generation is seeded from the
+//! test name, so runs are fully deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each test runs
+/// `config.cases` deterministic cases; `prop_assert*` failures report the
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    // Render inputs before the body can move them.
+                    let rendered_inputs =
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),+].join(", ");
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} failed: {e}\ninputs: {rendered_inputs}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with the
+/// generated inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 3usize..17) {
+            prop_assert!((3..17).contains(&v));
+        }
+
+        #[test]
+        fn vectors_have_requested_sizes(
+            exact in crate::collection::vec(any::<u8>(), 5),
+            ranged in crate::collection::vec(any::<u16>(), 2..9),
+        ) {
+            prop_assert_eq!(exact.len(), 5);
+            prop_assert!((2..9).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn regex_subset_generates_bounded_strings(s in ".{0,64}") {
+            prop_assert!(s.chars().count() <= 64);
+        }
+
+        #[test]
+        fn tuples_and_options_generate(v in (any::<u32>(), crate::option::of(any::<u64>()))) {
+            let (_word, opt) = v;
+            if let Some(x) = opt {
+                prop_assert_ne!(x, x.wrapping_add(1));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_header_is_accepted(v in any::<bool>()) {
+            prop_assert_eq!(v as u8 & 1, v as u8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u64>(), 4);
+        let mut a = crate::test_runner::TestRng::from_name("det");
+        let mut b = crate::test_runner::TestRng::from_name("det");
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn maps_and_sets_respect_size_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::from_name("maps");
+        let map =
+            crate::collection::btree_map(any::<u32>(), any::<u64>(), 0..32).generate(&mut rng);
+        assert!(map.len() < 32);
+        let set = crate::collection::btree_set(any::<u16>(), 0..64).generate(&mut rng);
+        assert!(set.len() < 64);
+    }
+}

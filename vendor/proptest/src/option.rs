@@ -1,0 +1,43 @@
+//! The `Option` strategy: `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `None` about a quarter of the time (matching real
+/// proptest's default `Some` weight of 3:1) and `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn both_variants_appear() {
+        let mut rng = TestRng::from_name("option");
+        let strat = of(any::<u64>());
+        let nones = (0..200)
+            .filter(|_| strat.generate(&mut rng).is_none())
+            .count();
+        assert!(nones > 10 && nones < 150, "nones = {nones}");
+    }
+}

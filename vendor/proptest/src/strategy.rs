@@ -1,0 +1,145 @@
+//! The value-generation trait and the built-in strategies for ranges,
+//! tuples and regex-subset strings.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type, mirroring `proptest::strategy::Strategy`
+/// (without shrinking: this offline subset reports the failing inputs instead).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(width) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($ty:ty => $wide:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    ((self.start as $wide) + rng.below(width) as $wide) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_signed_range_strategy!(i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Regex-string strategies. Real proptest compiles the full regex; this
+/// offline subset supports the patterns the workspace actually uses:
+/// `.{a,b}` (and bare `.` / `.{k}`), generating printable-ASCII strings
+/// whose length lies in the bounds.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repetition(self).unwrap_or_else(|| {
+            panic!("offline proptest subset supports only `.{{a,b}}`-style regexes, got {self:?}")
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| char::from(b' ' + rng.below(95) as u8))
+            .collect()
+    }
+}
+
+/// Parses `.`, `.{k}` or `.{a,b}` into `(min, max)` length bounds.
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix('.')?;
+    if rest.is_empty() {
+        return Some((1, 1));
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().ok()?;
+            let hi = hi.trim().parse().ok()?;
+            (lo <= hi).then_some((lo, hi))
+        }
+        None => {
+            let k = body.trim().parse().ok()?;
+            Some((k, k))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dot_forms() {
+        assert_eq!(parse_dot_repetition("."), Some((1, 1)));
+        assert_eq!(parse_dot_repetition(".{5}"), Some((5, 5)));
+        assert_eq!(parse_dot_repetition(".{0,64}"), Some((0, 64)));
+        assert_eq!(parse_dot_repetition("[a-z]+"), None);
+        assert_eq!(parse_dot_repetition(".{9,3}"), None);
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_spans() {
+        let mut rng = TestRng::from_name("signed");
+        for _ in 0..200 {
+            let v = (-5i32..7).generate(&mut rng);
+            assert!((-5..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_strategy_is_printable() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..50 {
+            let s = ".{0,16}".generate(&mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        }
+    }
+}
