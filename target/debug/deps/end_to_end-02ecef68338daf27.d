@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-02ecef68338daf27.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-02ecef68338daf27: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_batch-145f684d41e35aaa.d: tests/engine_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_batch-145f684d41e35aaa.rmeta: tests/engine_batch.rs Cargo.toml
+
+tests/engine_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_batch-6f6dbca9136357ce.d: tests/engine_batch.rs
+
+/root/repo/target/debug/deps/engine_batch-6f6dbca9136357ce: tests/engine_batch.rs
+
+tests/engine_batch.rs:

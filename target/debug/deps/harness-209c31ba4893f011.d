@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-209c31ba4893f011.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/libharness-209c31ba4893f011.rmeta: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-6169b1f1ca576083.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-6169b1f1ca576083: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-dc794f5d8b3e8f39.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-dc794f5d8b3e8f39.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpc_aborts-3b1d67d0c9feab65.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpc_aborts-3b1d67d0c9feab65.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpc_aborts-564e503838d69567.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpc_aborts-564e503838d69567: src/lib.rs
+
+src/lib.rs:

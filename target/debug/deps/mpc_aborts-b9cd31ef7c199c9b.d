@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpc_aborts-b9cd31ef7c199c9b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpc_aborts-b9cd31ef7c199c9b.rmeta: src/lib.rs
+
+src/lib.rs:

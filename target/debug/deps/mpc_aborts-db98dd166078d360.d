@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpc_aborts-db98dd166078d360.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpc_aborts-db98dd166078d360.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpc_aborts-db98dd166078d360.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpca_bench-92aaacb82cf91adf.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libmpca_bench-92aaacb82cf91adf.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

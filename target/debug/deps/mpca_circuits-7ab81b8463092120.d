@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpca_circuits-7ab81b8463092120.d: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+/root/repo/target/debug/deps/mpca_circuits-7ab81b8463092120: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/circuit.rs:
+crates/circuits/src/library.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpca_circuits-a38d44f9549ef88d.d: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+/root/repo/target/debug/deps/libmpca_circuits-a38d44f9549ef88d.rlib: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+/root/repo/target/debug/deps/libmpca_circuits-a38d44f9549ef88d.rmeta: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/circuit.rs:
+crates/circuits/src/library.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpca_circuits-e7b189f659e33547.d: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpca_circuits-e7b189f659e33547.rmeta: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/circuit.rs:
+crates/circuits/src/library.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

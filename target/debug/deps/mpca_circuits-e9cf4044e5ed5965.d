@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpca_circuits-e9cf4044e5ed5965.d: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpca_circuits-e9cf4044e5ed5965.rmeta: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/circuit.rs:
+crates/circuits/src/library.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mpca_core-7aca1a89342b5ebf.d: crates/core/src/lib.rs crates/core/src/all_to_all.rs crates/core/src/broadcast.rs crates/core/src/committee.rs crates/core/src/equality.rs crates/core/src/gossip.rs crates/core/src/local_committee.rs crates/core/src/local_mpc.rs crates/core/src/lower_bound.rs crates/core/src/mpc.rs crates/core/src/multi_output.rs crates/core/src/params.rs crates/core/src/sparse.rs crates/core/src/tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpca_core-7aca1a89342b5ebf.rmeta: crates/core/src/lib.rs crates/core/src/all_to_all.rs crates/core/src/broadcast.rs crates/core/src/committee.rs crates/core/src/equality.rs crates/core/src/gossip.rs crates/core/src/local_committee.rs crates/core/src/local_mpc.rs crates/core/src/lower_bound.rs crates/core/src/mpc.rs crates/core/src/multi_output.rs crates/core/src/params.rs crates/core/src/sparse.rs crates/core/src/tradeoff.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/all_to_all.rs:
+crates/core/src/broadcast.rs:
+crates/core/src/committee.rs:
+crates/core/src/equality.rs:
+crates/core/src/gossip.rs:
+crates/core/src/local_committee.rs:
+crates/core/src/local_mpc.rs:
+crates/core/src/lower_bound.rs:
+crates/core/src/mpc.rs:
+crates/core/src/multi_output.rs:
+crates/core/src/params.rs:
+crates/core/src/sparse.rs:
+crates/core/src/tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

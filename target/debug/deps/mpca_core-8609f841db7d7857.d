@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mpca_core-8609f841db7d7857.d: crates/core/src/lib.rs crates/core/src/all_to_all.rs crates/core/src/broadcast.rs crates/core/src/committee.rs crates/core/src/equality.rs crates/core/src/gossip.rs crates/core/src/local_committee.rs crates/core/src/local_mpc.rs crates/core/src/lower_bound.rs crates/core/src/mpc.rs crates/core/src/multi_output.rs crates/core/src/params.rs crates/core/src/sparse.rs crates/core/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libmpca_core-8609f841db7d7857.rmeta: crates/core/src/lib.rs crates/core/src/all_to_all.rs crates/core/src/broadcast.rs crates/core/src/committee.rs crates/core/src/equality.rs crates/core/src/gossip.rs crates/core/src/local_committee.rs crates/core/src/local_mpc.rs crates/core/src/lower_bound.rs crates/core/src/mpc.rs crates/core/src/multi_output.rs crates/core/src/params.rs crates/core/src/sparse.rs crates/core/src/tradeoff.rs
+
+crates/core/src/lib.rs:
+crates/core/src/all_to_all.rs:
+crates/core/src/broadcast.rs:
+crates/core/src/committee.rs:
+crates/core/src/equality.rs:
+crates/core/src/gossip.rs:
+crates/core/src/local_committee.rs:
+crates/core/src/local_mpc.rs:
+crates/core/src/lower_bound.rs:
+crates/core/src/mpc.rs:
+crates/core/src/multi_output.rs:
+crates/core/src/params.rs:
+crates/core/src/sparse.rs:
+crates/core/src/tradeoff.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mpca_crypto-0decabdebfb0f8fc.d: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/debug/deps/libmpca_crypto-0decabdebfb0f8fc.rlib: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/debug/deps/libmpca_crypto-0decabdebfb0f8fc.rmeta: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/commit.rs:
+crates/crypto/src/fingerprint.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/lamport.rs:
+crates/crypto/src/lwe.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/merkle_sig.rs:
+crates/crypto/src/prg.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/secret_sharing.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/ske.rs:
+crates/crypto/src/threshold.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpca_encfunc-a01f13268765375b.d: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs
+
+/root/repo/target/debug/deps/mpca_encfunc-a01f13268765375b: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs
+
+crates/encfunc/src/lib.rs:
+crates/encfunc/src/cost_model.rs:
+crates/encfunc/src/hybrid.rs:
+crates/encfunc/src/keygen.rs:
+crates/encfunc/src/linear.rs:
+crates/encfunc/src/signing.rs:
+crates/encfunc/src/spec.rs:

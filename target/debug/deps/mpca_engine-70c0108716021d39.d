@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpca_engine-70c0108716021d39.d: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/debug/deps/mpca_engine-70c0108716021d39: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/backend.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/report.rs:

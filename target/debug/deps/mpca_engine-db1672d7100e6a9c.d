@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpca_engine-db1672d7100e6a9c.d: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/debug/deps/libmpca_engine-db1672d7100e6a9c.rlib: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/debug/deps/libmpca_engine-db1672d7100e6a9c.rmeta: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/backend.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpca_engine-f32d24b054e5fcde.d: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/debug/deps/libmpca_engine-f32d24b054e5fcde.rmeta: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/backend.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/report.rs:

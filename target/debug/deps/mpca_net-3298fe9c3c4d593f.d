@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpca_net-3298fe9c3c4d593f.d: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libmpca_net-3298fe9c3c4d593f.rlib: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/libmpca_net-3298fe9c3c4d593f.rmeta: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/adversary.rs:
+crates/net/src/crs.rs:
+crates/net/src/envelope.rs:
+crates/net/src/error.rs:
+crates/net/src/party.rs:
+crates/net/src/simulator.rs:
+crates/net/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpca_net-728b9bfda21eb8a7.d: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpca_net-728b9bfda21eb8a7.rmeta: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/adversary.rs:
+crates/net/src/crs.rs:
+crates/net/src/envelope.rs:
+crates/net/src/error.rs:
+crates/net/src/party.rs:
+crates/net/src/simulator.rs:
+crates/net/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpca_net-8a1d1915e8432c6a.d: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+/root/repo/target/debug/deps/mpca_net-8a1d1915e8432c6a: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/adversary.rs:
+crates/net/src/crs.rs:
+crates/net/src/envelope.rs:
+crates/net/src/error.rs:
+crates/net/src/party.rs:
+crates/net/src/simulator.rs:
+crates/net/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpca_wire-67dc93f55f557b9b.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+/root/repo/target/debug/deps/libmpca_wire-67dc93f55f557b9b.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/varint.rs:
+crates/wire/src/writer.rs:

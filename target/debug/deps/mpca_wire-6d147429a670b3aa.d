@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpca_wire-6d147429a670b3aa.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+/root/repo/target/debug/deps/libmpca_wire-6d147429a670b3aa.rlib: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+/root/repo/target/debug/deps/libmpca_wire-6d147429a670b3aa.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/varint.rs:
+crates/wire/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpca_wire-a7a5a35ac07ec840.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpca_wire-a7a5a35ac07ec840.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/varint.rs:
+crates/wire/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

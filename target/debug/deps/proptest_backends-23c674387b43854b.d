@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_backends-23c674387b43854b.d: tests/proptest_backends.rs
+
+/root/repo/target/debug/deps/proptest_backends-23c674387b43854b: tests/proptest_backends.rs
+
+tests/proptest_backends.rs:

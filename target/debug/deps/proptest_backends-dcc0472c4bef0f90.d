@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_backends-dcc0472c4bef0f90.d: tests/proptest_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_backends-dcc0472c4bef0f90.rmeta: tests/proptest_backends.rs Cargo.toml
+
+tests/proptest_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

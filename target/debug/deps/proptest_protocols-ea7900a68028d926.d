@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_protocols-ea7900a68028d926.d: tests/proptest_protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_protocols-ea7900a68028d926.rmeta: tests/proptest_protocols.rs Cargo.toml
+
+tests/proptest_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocols-f74318089108d5dc.d: tests/proptest_protocols.rs
+
+/root/repo/target/debug/deps/proptest_protocols-f74318089108d5dc: tests/proptest_protocols.rs
+
+tests/proptest_protocols.rs:

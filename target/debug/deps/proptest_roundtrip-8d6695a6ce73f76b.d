@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-8d6695a6ce73f76b.d: crates/wire/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-8d6695a6ce73f76b.rmeta: crates/wire/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/wire/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-a4c71191112921b6.d: crates/wire/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-a4c71191112921b6: crates/wire/tests/proptest_roundtrip.rs
+
+crates/wire/tests/proptest_roundtrip.rs:

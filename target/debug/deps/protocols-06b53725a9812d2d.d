@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocols-06b53725a9812d2d.d: crates/bench/benches/protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocols-06b53725a9812d2d.rmeta: crates/bench/benches/protocols.rs Cargo.toml
+
+crates/bench/benches/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

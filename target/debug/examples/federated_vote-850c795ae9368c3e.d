@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federated_vote-850c795ae9368c3e.d: examples/federated_vote.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederated_vote-850c795ae9368c3e.rmeta: examples/federated_vote.rs Cargo.toml
+
+examples/federated_vote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

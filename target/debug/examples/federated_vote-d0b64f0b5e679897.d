@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_vote-d0b64f0b5e679897.d: examples/federated_vote.rs
+
+/root/repo/target/debug/examples/federated_vote-d0b64f0b5e679897: examples/federated_vote.rs
+
+examples/federated_vote.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_batch-0c3cb0720103e84e.d: examples/fleet_batch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_batch-0c3cb0720103e84e.rmeta: examples/fleet_batch.rs Cargo.toml
+
+examples/fleet_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

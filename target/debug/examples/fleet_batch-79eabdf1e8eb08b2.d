@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_batch-79eabdf1e8eb08b2.d: examples/fleet_batch.rs
+
+/root/repo/target/debug/examples/fleet_batch-79eabdf1e8eb08b2: examples/fleet_batch.rs
+
+examples/fleet_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/private_auction-c4dc98994f9af60b.d: examples/private_auction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprivate_auction-c4dc98994f9af60b.rmeta: examples/private_auction.rs Cargo.toml
+
+examples/private_auction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/private_auction-e43b70f1d46f8067.d: examples/private_auction.rs
+
+/root/repo/target/debug/examples/private_auction-e43b70f1d46f8067: examples/private_auction.rs
+
+examples/private_auction.rs:

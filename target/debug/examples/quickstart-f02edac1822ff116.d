@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f02edac1822ff116.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f02edac1822ff116: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_gossip-6253d95de57e9385.d: examples/sparse_gossip.rs
+
+/root/repo/target/debug/examples/sparse_gossip-6253d95de57e9385: examples/sparse_gossip.rs
+
+examples/sparse_gossip.rs:

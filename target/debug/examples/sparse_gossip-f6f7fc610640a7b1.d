@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_gossip-f6f7fc610640a7b1.d: examples/sparse_gossip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_gossip-f6f7fc610640a7b1.rmeta: examples/sparse_gossip.rs Cargo.toml
+
+examples/sparse_gossip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-765b6eaa85722c0f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-765b6eaa85722c0f: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

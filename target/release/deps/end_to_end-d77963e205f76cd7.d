@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-d77963e205f76cd7.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-d77963e205f76cd7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_batch-ba2e54976c69885c.d: tests/engine_batch.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_batch-ba2e54976c69885c.rmeta: tests/engine_batch.rs Cargo.toml
+
+tests/engine_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_batch-e1f8a0fa4ecf318d.d: tests/engine_batch.rs
+
+/root/repo/target/release/deps/engine_batch-e1f8a0fa4ecf318d: tests/engine_batch.rs
+
+tests/engine_batch.rs:

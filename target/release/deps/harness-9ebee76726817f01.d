@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/harness-9ebee76726817f01.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/release/deps/libharness-9ebee76726817f01.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

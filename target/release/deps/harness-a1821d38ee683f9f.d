@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/harness-a1821d38ee683f9f.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/release/deps/libharness-a1821d38ee683f9f.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-a339cee0a873342a.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-a339cee0a873342a: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

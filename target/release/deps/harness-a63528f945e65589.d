@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-a63528f945e65589.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-a63528f945e65589: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

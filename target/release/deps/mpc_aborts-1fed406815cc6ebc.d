@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpc_aborts-1fed406815cc6ebc.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpc_aborts-1fed406815cc6ebc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpc_aborts-1fed406815cc6ebc.rmeta: src/lib.rs
+
+src/lib.rs:

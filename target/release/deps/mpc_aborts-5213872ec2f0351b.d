@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpc_aborts-5213872ec2f0351b.d: src/lib.rs
+
+/root/repo/target/release/deps/mpc_aborts-5213872ec2f0351b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpc_aborts-b82039d7fd4c412c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpc_aborts-b82039d7fd4c412c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpc_aborts-e3c893fe3ac67144.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpc_aborts-e3c893fe3ac67144.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

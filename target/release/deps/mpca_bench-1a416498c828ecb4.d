@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpca_bench-1a416498c828ecb4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/mpca_bench-1a416498c828ecb4: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpca_circuits-858540a79e74fc47.d: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+/root/repo/target/release/deps/mpca_circuits-858540a79e74fc47: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/circuit.rs:
+crates/circuits/src/library.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpca_circuits-a85f3c09d15c69d1.d: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+/root/repo/target/release/deps/libmpca_circuits-a85f3c09d15c69d1.rlib: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+/root/repo/target/release/deps/libmpca_circuits-a85f3c09d15c69d1.rmeta: crates/circuits/src/lib.rs crates/circuits/src/builder.rs crates/circuits/src/circuit.rs crates/circuits/src/library.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/circuit.rs:
+crates/circuits/src/library.rs:

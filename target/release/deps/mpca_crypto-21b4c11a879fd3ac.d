@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/mpca_crypto-21b4c11a879fd3ac.d: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpca_crypto-21b4c11a879fd3ac.rmeta: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/commit.rs:
+crates/crypto/src/fingerprint.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/lamport.rs:
+crates/crypto/src/lwe.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/merkle_sig.rs:
+crates/crypto/src/prg.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/secret_sharing.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/ske.rs:
+crates/crypto/src/threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

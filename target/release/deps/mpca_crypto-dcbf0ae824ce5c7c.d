@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/mpca_crypto-dcbf0ae824ce5c7c.d: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/release/deps/libmpca_crypto-dcbf0ae824ce5c7c.rlib: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs
+
+/root/repo/target/release/deps/libmpca_crypto-dcbf0ae824ce5c7c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/chacha20.rs crates/crypto/src/commit.rs crates/crypto/src/fingerprint.rs crates/crypto/src/hmac.rs crates/crypto/src/lamport.rs crates/crypto/src/lwe.rs crates/crypto/src/merkle.rs crates/crypto/src/merkle_sig.rs crates/crypto/src/prg.rs crates/crypto/src/primes.rs crates/crypto/src/secret_sharing.rs crates/crypto/src/sha256.rs crates/crypto/src/ske.rs crates/crypto/src/threshold.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/commit.rs:
+crates/crypto/src/fingerprint.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/lamport.rs:
+crates/crypto/src/lwe.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/merkle_sig.rs:
+crates/crypto/src/prg.rs:
+crates/crypto/src/primes.rs:
+crates/crypto/src/secret_sharing.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/ske.rs:
+crates/crypto/src/threshold.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpca_encfunc-088daaa9f19f7280.d: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpca_encfunc-088daaa9f19f7280.rmeta: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs Cargo.toml
+
+crates/encfunc/src/lib.rs:
+crates/encfunc/src/cost_model.rs:
+crates/encfunc/src/hybrid.rs:
+crates/encfunc/src/keygen.rs:
+crates/encfunc/src/linear.rs:
+crates/encfunc/src/signing.rs:
+crates/encfunc/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

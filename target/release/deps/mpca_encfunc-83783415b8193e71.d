@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpca_encfunc-83783415b8193e71.d: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs
+
+/root/repo/target/release/deps/libmpca_encfunc-83783415b8193e71.rlib: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs
+
+/root/repo/target/release/deps/libmpca_encfunc-83783415b8193e71.rmeta: crates/encfunc/src/lib.rs crates/encfunc/src/cost_model.rs crates/encfunc/src/hybrid.rs crates/encfunc/src/keygen.rs crates/encfunc/src/linear.rs crates/encfunc/src/signing.rs crates/encfunc/src/spec.rs
+
+crates/encfunc/src/lib.rs:
+crates/encfunc/src/cost_model.rs:
+crates/encfunc/src/hybrid.rs:
+crates/encfunc/src/keygen.rs:
+crates/encfunc/src/linear.rs:
+crates/encfunc/src/signing.rs:
+crates/encfunc/src/spec.rs:

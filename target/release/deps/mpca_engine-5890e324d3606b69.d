@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpca_engine-5890e324d3606b69.d: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/release/deps/libmpca_engine-5890e324d3606b69.rlib: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/release/deps/libmpca_engine-5890e324d3606b69.rmeta: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/backend.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpca_engine-d8ba31d59cdf6e25.d: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+/root/repo/target/release/deps/mpca_engine-d8ba31d59cdf6e25: crates/engine/src/lib.rs crates/engine/src/backend.rs crates/engine/src/pool.rs crates/engine/src/report.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/backend.rs:
+crates/engine/src/pool.rs:
+crates/engine/src/report.rs:

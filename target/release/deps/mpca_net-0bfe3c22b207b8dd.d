@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mpca_net-0bfe3c22b207b8dd.d: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/libmpca_net-0bfe3c22b207b8dd.rlib: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/libmpca_net-0bfe3c22b207b8dd.rmeta: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/adversary.rs:
+crates/net/src/crs.rs:
+crates/net/src/envelope.rs:
+crates/net/src/error.rs:
+crates/net/src/party.rs:
+crates/net/src/simulator.rs:
+crates/net/src/stats.rs:

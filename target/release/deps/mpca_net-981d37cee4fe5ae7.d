@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpca_net-981d37cee4fe5ae7.d: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+/root/repo/target/release/deps/mpca_net-981d37cee4fe5ae7: crates/net/src/lib.rs crates/net/src/adversary.rs crates/net/src/crs.rs crates/net/src/envelope.rs crates/net/src/error.rs crates/net/src/party.rs crates/net/src/simulator.rs crates/net/src/stats.rs
+
+crates/net/src/lib.rs:
+crates/net/src/adversary.rs:
+crates/net/src/crs.rs:
+crates/net/src/envelope.rs:
+crates/net/src/error.rs:
+crates/net/src/party.rs:
+crates/net/src/simulator.rs:
+crates/net/src/stats.rs:

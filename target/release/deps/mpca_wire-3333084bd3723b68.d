@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpca_wire-3333084bd3723b68.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/mpca_wire-3333084bd3723b68: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/varint.rs:
+crates/wire/src/writer.rs:

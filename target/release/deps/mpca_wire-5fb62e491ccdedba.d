@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpca_wire-5fb62e491ccdedba.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/libmpca_wire-5fb62e491ccdedba.rlib: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/libmpca_wire-5fb62e491ccdedba.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/varint.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/varint.rs:
+crates/wire/src/writer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_backends-37ec626a33bebe4e.d: tests/proptest_backends.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_backends-37ec626a33bebe4e.rmeta: tests/proptest_backends.rs Cargo.toml
+
+tests/proptest_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_backends-a57613e57d365545.d: tests/proptest_backends.rs
+
+/root/repo/target/release/deps/proptest_backends-a57613e57d365545: tests/proptest_backends.rs
+
+tests/proptest_backends.rs:

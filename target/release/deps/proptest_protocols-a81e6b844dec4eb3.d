@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_protocols-a81e6b844dec4eb3.d: tests/proptest_protocols.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_protocols-a81e6b844dec4eb3.rmeta: tests/proptest_protocols.rs Cargo.toml
+
+tests/proptest_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_protocols-bdcfc70b41a898cd.d: tests/proptest_protocols.rs
+
+/root/repo/target/release/deps/proptest_protocols-bdcfc70b41a898cd: tests/proptest_protocols.rs
+
+tests/proptest_protocols.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_roundtrip-0bcad2f456a94cd3.d: crates/wire/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_roundtrip-0bcad2f456a94cd3.rmeta: crates/wire/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/wire/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_roundtrip-0d077df0757a01d6.d: crates/wire/tests/proptest_roundtrip.rs
+
+/root/repo/target/release/deps/proptest_roundtrip-0d077df0757a01d6: crates/wire/tests/proptest_roundtrip.rs
+
+crates/wire/tests/proptest_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/protocols-706d5df388dcdc71.d: crates/bench/benches/protocols.rs Cargo.toml
+
+/root/repo/target/release/deps/libprotocols-706d5df388dcdc71.rmeta: crates/bench/benches/protocols.rs Cargo.toml
+
+crates/bench/benches/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-f494390466b97bcb.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-f494390466b97bcb: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

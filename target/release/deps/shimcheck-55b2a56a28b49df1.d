@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shimcheck-55b2a56a28b49df1.d: tests/shimcheck.rs
+
+/root/repo/target/release/deps/shimcheck-55b2a56a28b49df1: tests/shimcheck.rs
+
+tests/shimcheck.rs:

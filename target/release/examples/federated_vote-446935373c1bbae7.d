@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/federated_vote-446935373c1bbae7.d: examples/federated_vote.rs Cargo.toml
+
+/root/repo/target/release/examples/libfederated_vote-446935373c1bbae7.rmeta: examples/federated_vote.rs Cargo.toml
+
+examples/federated_vote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

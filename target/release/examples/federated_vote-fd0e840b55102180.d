@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_vote-fd0e840b55102180.d: examples/federated_vote.rs
+
+/root/repo/target/release/examples/federated_vote-fd0e840b55102180: examples/federated_vote.rs
+
+examples/federated_vote.rs:

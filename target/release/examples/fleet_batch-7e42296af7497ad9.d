@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_batch-7e42296af7497ad9.d: examples/fleet_batch.rs
+
+/root/repo/target/release/examples/fleet_batch-7e42296af7497ad9: examples/fleet_batch.rs
+
+examples/fleet_batch.rs:

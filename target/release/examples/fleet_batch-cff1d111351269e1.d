@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fleet_batch-cff1d111351269e1.d: examples/fleet_batch.rs Cargo.toml
+
+/root/repo/target/release/examples/libfleet_batch-cff1d111351269e1.rmeta: examples/fleet_batch.rs Cargo.toml
+
+examples/fleet_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

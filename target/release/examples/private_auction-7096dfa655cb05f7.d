@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/private_auction-7096dfa655cb05f7.d: examples/private_auction.rs
+
+/root/repo/target/release/examples/private_auction-7096dfa655cb05f7: examples/private_auction.rs
+
+examples/private_auction.rs:

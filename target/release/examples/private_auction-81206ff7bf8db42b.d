@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/private_auction-81206ff7bf8db42b.d: examples/private_auction.rs Cargo.toml
+
+/root/repo/target/release/examples/libprivate_auction-81206ff7bf8db42b.rmeta: examples/private_auction.rs Cargo.toml
+
+examples/private_auction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-89fe90db7c2c6a7e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-89fe90db7c2c6a7e: examples/quickstart.rs
+
+examples/quickstart.rs:

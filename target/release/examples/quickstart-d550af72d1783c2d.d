@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-d550af72d1783c2d.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-d550af72d1783c2d.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sparse_gossip-569ad6579dbbe935.d: examples/sparse_gossip.rs Cargo.toml
+
+/root/repo/target/release/examples/libsparse_gossip-569ad6579dbbe935.rmeta: examples/sparse_gossip.rs Cargo.toml
+
+examples/sparse_gossip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

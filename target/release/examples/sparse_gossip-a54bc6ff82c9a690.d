@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_gossip-a54bc6ff82c9a690.d: examples/sparse_gossip.rs
+
+/root/repo/target/release/examples/sparse_gossip-a54bc6ff82c9a690: examples/sparse_gossip.rs
+
+examples/sparse_gossip.rs:
