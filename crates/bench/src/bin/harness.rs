@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates the paper's quantitative tables
-//! (index in `DESIGN.md` §4) and writes a machine-readable
+//! (index in `DESIGN.md` §5) and writes a machine-readable
 //! `BENCH_results.json` so the performance trajectory (bytes, rounds,
 //! wall-clock, throughput) is trackable across PRs.
 //!

@@ -1,5 +1,5 @@
 //! The experiment suite. Every function regenerates one row-set of the
-//! paper's quantitative claims; `DESIGN.md` §4 at the repository root maps
+//! paper's quantitative claims; `DESIGN.md` §5 at the repository root maps
 //! experiment ids to the theorems/claims they reproduce, and the harness
 //! binary records the outcomes in `BENCH_results.json`.
 
@@ -13,7 +13,10 @@ use mpca_crypto::lwe::LweParams;
 use mpca_crypto::Prg;
 use mpca_encfunc::spec::{Functionality, MultiOutputFunctionality};
 use mpca_engine::{Sequential, SessionPool};
-use mpca_net::{CommonRandomString, PartyId, RunResult, SilentAdversary, SimConfig, Simulator};
+use mpca_net::{
+    CommonRandomString, PartyId, PayloadAllocStats, RunResult, SilentAdversary, SimConfig,
+    Simulator,
+};
 
 use crate::table::Table;
 
@@ -374,7 +377,7 @@ pub fn exp_sparse() -> Table {
                 gossip::GossipParty::new(
                     *id,
                     neighbors.clone(),
-                    Some(vec![id.index() as u8; 8]),
+                    Some(vec![id.index() as u8; 8].into()),
                     params.gossip_rounds(),
                 )
             })
@@ -661,6 +664,64 @@ pub fn exp_engine_sweep() -> Table {
     table
 }
 
+/// One `E14-message-plane` measurement: the succinct all-to-all at `n`,
+/// reporting what the zero-copy plane materialised versus what a
+/// copy-per-recipient plane would have copied.
+///
+/// Returns `(wire_bytes, materialised_bytes, buffers, rounds)`. The old
+/// plane cloned every message body per recipient on send (and again per
+/// relay hop), so the bytes it copied are bounded **below** by the wire
+/// bytes charged to `CommStats` — that conservative floor is the "before"
+/// column. The "after" column is the process-wide `Payload` allocation
+/// delta over the execution: each distinct message body materialises once,
+/// however many envelopes share it.
+pub fn measure_message_plane(n: usize) -> (u64, u64, u64, usize) {
+    let inputs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 64]).collect();
+    let parties =
+        all_to_all::succinct_parties(&inputs, 24, format!("e14-{n}").as_bytes(), &BTreeSet::new());
+    let before = PayloadAllocStats::snapshot();
+    let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
+    let delta = PayloadAllocStats::snapshot().since(before);
+    assert!(!result.any_abort(), "E14 runs all-honest");
+    (
+        result.stats.total_bytes(),
+        delta.bytes,
+        delta.buffers,
+        result.rounds,
+    )
+}
+
+/// `E14-message-plane` — the zero-copy message plane: bytes materialised by
+/// the shared-`Payload` plane vs the bytes the historical clone-per-recipient
+/// plane copied, for the succinct all-to-all (ℓ = 64 bytes) at
+/// n ∈ {32, 64, 128}.
+pub fn exp_message_plane() -> Table {
+    let mut table = Table::new(
+        "E14-message-plane",
+        "Zero-copy message plane: wire bytes (≡ bytes copied by the old clone-per-recipient \
+         plane) vs bytes actually materialised by the shared-Payload plane; succinct \
+         all-to-all, ℓ = 64.",
+        &[
+            "n",
+            "wire bytes (old copies)",
+            "materialised bytes",
+            "buffers",
+            "copy reduction",
+        ],
+    );
+    for n in [32usize, 64, 128] {
+        let (wire, materialised, buffers, _) = measure_message_plane(n);
+        table.push_row(vec![
+            n.to_string(),
+            wire.to_string(),
+            materialised.to_string(),
+            buffers.to_string(),
+            format!("{:.1}x", wire as f64 / materialised.max(1) as f64),
+        ]);
+    }
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -680,17 +741,32 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E11-crossover", exp_crossover),
         ("E12-adversary", exp_adversary),
         ("E13-engine-sweep", exp_engine_sweep),
+        ("E14-message-plane", exp_message_plane),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serialises this module's tests. The message-plane measurement reads
+    /// the process-wide `Payload` allocation counters, so the other tests —
+    /// which all allocate payloads — must not run concurrently with it (the
+    /// test harness otherwise runs one test per core).
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 
     // Smoke-test the cheap experiments so `cargo test` exercises the harness
     // code paths; the full sweeps run from the harness binary.
     #[test]
     fn baseline_experiment_produces_rows() {
+        let _guard = serial();
         let table = exp_baseline();
         assert_eq!(table.rows.len(), 5);
         assert!(table.render().contains("E5-baseline-gl"));
@@ -698,12 +774,14 @@ mod tests {
 
     #[test]
     fn lower_bound_experiment_produces_rows() {
+        let _guard = serial();
         let table = exp_lower_bound();
         assert_eq!(table.rows.len(), 7);
     }
 
     #[test]
     fn adversary_experiment_reports_agreement() {
+        let _guard = serial();
         let table = exp_adversary();
         for row in &table.rows {
             assert_eq!(row[3], "true", "correct-or-abort must hold: {row:?}");
@@ -712,11 +790,30 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 13);
+        assert_eq!(all_experiments().len(), 14);
+    }
+
+    #[test]
+    fn message_plane_copies_at_least_halved_at_n_64() {
+        let _guard = serial();
+        // The acceptance bar for the zero-copy refactor: at n = 64 the
+        // succinct all-to-all must materialise at most half the bytes the
+        // clone-per-recipient plane copied. (Measured reduction is ~7×: the
+        // ℓ-sized input fan-outs share one buffer across 63 recipients,
+        // while the per-peer-distinct challenge/response messages still
+        // materialise individually.)
+        let (wire, materialised, buffers, rounds) = measure_message_plane(64);
+        assert_eq!(rounds, all_to_all::SUCCINCT_ROUNDS);
+        assert!(buffers > 0, "the plane must materialise something");
+        assert!(
+            materialised * 2 <= wire,
+            "materialised {materialised} bytes vs {wire} wire bytes: reduction below 2x"
+        );
     }
 
     #[test]
     fn engine_sweep_runs_every_session_without_aborts() {
+        let _guard = serial();
         let table = exp_engine_sweep();
         // 4 grid points × 3 protocols + the TOTAL row.
         assert_eq!(table.rows.len(), 13);

@@ -1,7 +1,7 @@
 //! # mpca-bench
 //!
 //! The experiment harness that regenerates every quantitative claim of the
-//! paper (see `DESIGN.md` §4 at the repository root for the experiment
+//! paper (see `DESIGN.md` §5 at the repository root for the experiment
 //! index). Each `exp_*` function returns a printable table; the `harness`
 //! binary selects and prints them, and writes a machine-readable
 //! `BENCH_results.json` for tracking results across PRs.

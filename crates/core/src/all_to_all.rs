@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::equality::PairwiseEquality;
@@ -116,7 +116,8 @@ impl PartyLogic for NaiveAllToAllParty {
         match round {
             0 => {
                 self.view.insert(self.id, self.input.clone());
-                ctx.send_to_all(self.others(), &NaiveMsg::Input(self.input.clone()));
+                let input = Payload::encode(&NaiveMsg::Input(self.input.clone()));
+                ctx.send_payload_to_all(self.others(), &input);
                 Step::Continue
             }
             1 => {
@@ -136,7 +137,10 @@ impl PartyLogic for NaiveAllToAllParty {
                         Err(e) => return Step::Abort(AbortReason::Malformed(e.to_string())),
                     }
                 }
-                ctx.send_to_all(self.others(), &NaiveMsg::Echo(self.view.clone()));
+                // The O(n·ℓ)-byte echo is the dominant message of the naive
+                // baseline; materialise it once for all n − 1 recipients.
+                let echo = Payload::encode(&NaiveMsg::Echo(self.view.clone()));
+                ctx.send_payload_to_all(self.others(), &echo);
                 Step::Continue
             }
             2 => {
@@ -260,7 +264,8 @@ impl PartyLogic for SuccinctAllToAllParty {
         match round {
             0 => {
                 self.view.insert(self.id, self.input.clone());
-                ctx.send_to_all(self.others(), &SuccinctMsg::Input(self.input.clone()));
+                let input = Payload::encode(&SuccinctMsg::Input(self.input.clone()));
+                ctx.send_payload_to_all(self.others(), &input);
                 Step::Continue
             }
             1 => {
@@ -450,7 +455,7 @@ mod tests {
             |round, envelope| {
                 let mut out = envelope.clone();
                 if round == 0 && envelope.to.index() < 3 {
-                    out.payload = mpca_wire::to_bytes(&NaiveMsg::Input(b"evil".to_vec()));
+                    out.payload = Payload::encode(&NaiveMsg::Input(b"evil".to_vec()));
                 }
                 vec![out]
             },
@@ -483,7 +488,7 @@ mod tests {
             |round, envelope| {
                 let mut out = envelope.clone();
                 if round == 0 && envelope.to.index() < 3 {
-                    out.payload = mpca_wire::to_bytes(&SuccinctMsg::Input(b"evil".to_vec()));
+                    out.payload = Payload::encode(&SuccinctMsg::Input(b"evil".to_vec()));
                 }
                 vec![out]
             },

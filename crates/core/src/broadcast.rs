@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// Number of rounds the protocol takes.
@@ -114,8 +114,9 @@ impl PartyLogic for BroadcastParty {
                 if self.id == self.sender {
                     let message = self.message.clone().expect("sender has a message");
                     self.received = Some(message.clone());
-                    let others: Vec<PartyId> = self.others().collect();
-                    ctx.send_to_all(others, &BroadcastMsg::Send(message));
+                    // One materialised buffer fans out to n − 1 recipients.
+                    let payload = Payload::encode(&BroadcastMsg::Send(message));
+                    ctx.send_payload_to_all(self.others(), &payload);
                 }
                 Step::Continue
             }
@@ -141,9 +142,8 @@ impl PartyLogic for BroadcastParty {
                         }
                     }
                 }
-                let echo = BroadcastMsg::Echo(self.received.clone());
-                let others: Vec<PartyId> = self.others().collect();
-                ctx.send_to_all(others, &echo);
+                let echo = Payload::encode(&BroadcastMsg::Echo(self.received.clone()));
+                ctx.send_payload_to_all(self.others(), &echo);
                 Step::Continue
             }
             // Output step: all echoes must agree.
@@ -257,7 +257,7 @@ mod tests {
         let adversary = ProxyAdversary::new(corrupted_logic, n, |round, envelope| {
             let mut out = envelope.clone();
             if round == 0 && envelope.to.index() % 2 == 0 {
-                out.payload = mpca_wire::to_bytes(&BroadcastMsg::Send(b"fake".to_vec()));
+                out.payload = Payload::encode(&BroadcastMsg::Send(b"fake".to_vec()));
             }
             vec![out]
         });
@@ -278,7 +278,7 @@ mod tests {
         let adversary = ProxyAdversary::new(corrupted_logic, n, |round, envelope| {
             let mut out = envelope.clone();
             if round == 1 {
-                out.payload = mpca_wire::to_bytes(&BroadcastMsg::Echo(Some(b"lie".to_vec())));
+                out.payload = Payload::encode(&BroadcastMsg::Echo(Some(b"lie".to_vec())));
             }
             vec![out]
         });

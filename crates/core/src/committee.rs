@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::equality::PairwiseEquality;
@@ -129,7 +129,8 @@ impl PartyLogic for CommitteeElectParty {
                 self.elected = self.prg.gen_bool(self.params.election_probability());
                 if self.elected {
                     self.view.insert(self.id);
-                    ctx.send_to_all(self.others(), &CommitteeMsg::Elected);
+                    let notice = Payload::encode(&CommitteeMsg::Elected);
+                    ctx.send_payload_to_all(self.others(), &notice);
                 }
                 Step::Continue
             }
@@ -345,7 +346,7 @@ mod tests {
                 return vec![mpca_net::Envelope::new(
                     envelope.from,
                     envelope.to,
-                    mpca_wire::to_bytes(&CommitteeMsg::Elected),
+                    Payload::encode(&CommitteeMsg::Elected),
                 )];
             }
             if round == 0 {

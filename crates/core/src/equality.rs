@@ -10,7 +10,7 @@
 
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
 
 /// Number of rounds the two-party protocol takes.
 pub const ROUNDS: usize = 3;
@@ -72,7 +72,7 @@ impl PartyLogic for EqualityParty {
             0 => {
                 if self.is_initiator() {
                     let challenge = EqualityChallenge::new(&mut self.prg, self.lambda, &self.input);
-                    ctx.send_msg(self.peer, &challenge);
+                    ctx.send(self.peer, Payload::encode(&challenge));
                 }
                 Step::Continue
             }

@@ -12,11 +12,14 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// The output: the rumours heard, keyed by source.
-pub type GossipView = BTreeMap<PartyId, Vec<u8>>;
+///
+/// Values are [`Payload`] windows; for rumours received from a neighbour the
+/// window points into the inbound envelope's buffer (zero-copy receive).
+pub type GossipView = BTreeMap<PartyId, Payload>;
 
 /// Wire messages of the gossip protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,7 +29,7 @@ pub enum GossipMsg {
         /// The party the rumour is about.
         source: PartyId,
         /// The claimed input value.
-        value: Vec<u8>,
+        value: Payload,
     },
     /// An equivocation warning: abort and tell your neighbours.
     Warning,
@@ -50,13 +53,39 @@ impl Decode for GossipMsg {
         match r.get_u8()? {
             0 => Ok(GossipMsg::Rumor {
                 source: PartyId::decode(r)?,
-                value: r.get_len_prefixed()?.to_vec(),
+                value: Payload::decode(r)?,
             }),
             1 => Ok(GossipMsg::Warning),
             other => Err(WireError::InvalidDiscriminant {
                 ty: "GossipMsg",
                 value: u64::from(other),
             }),
+        }
+    }
+}
+
+impl GossipMsg {
+    /// Decodes a gossip message from an envelope **without copying**: a
+    /// rumour's value is returned as a subslice of the envelope's shared
+    /// payload buffer rather than a fresh allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`WireError`] for malformed payloads, exactly
+    /// like [`Envelope::decode`].
+    pub fn decode_shared(envelope: &Envelope) -> Result<Self, WireError> {
+        let payload = &envelope.payload;
+        let mut r = Reader::new(payload);
+        // Only the rumour arm benefits from subslicing (its value is the one
+        // large field); every other variant delegates to the canonical
+        // `Decode` impl so the discriminant dispatch lives in one place.
+        if r.get_u8()? == 0 {
+            let source = PartyId::decode(&mut r)?;
+            let value = payload.read_len_prefixed(&mut r)?;
+            r.finish()?;
+            Ok(GossipMsg::Rumor { source, value })
+        } else {
+            envelope.decode()
         }
     }
 }
@@ -71,7 +100,7 @@ pub struct GossipParty {
     id: PartyId,
     neighbors: BTreeSet<PartyId>,
     /// This party's own input (`None` = Null input, nothing to announce).
-    input: Option<Vec<u8>>,
+    input: Option<Payload>,
     total_rounds: usize,
     view: GossipView,
     /// Sources whose rumour has already been forwarded.
@@ -90,7 +119,7 @@ impl GossipParty {
     pub fn new(
         id: PartyId,
         neighbors: BTreeSet<PartyId>,
-        input: Option<Vec<u8>>,
+        input: Option<Payload>,
         total_rounds: usize,
     ) -> Self {
         assert!(total_rounds >= 2, "gossip needs at least two rounds");
@@ -105,21 +134,33 @@ impl GossipParty {
         }
     }
 
-    fn broadcast_to_neighbors(&self, ctx: &mut PartyCtx, msg: &GossipMsg) {
-        for peer in &self.neighbors {
-            ctx.send_msg(*peer, msg);
-        }
+    /// Sends one already-materialised message buffer to every neighbour
+    /// (encode once, O(1) share per edge).
+    fn broadcast_to_neighbors(&self, ctx: &mut PartyCtx, payload: &Payload) {
+        ctx.send_payload_to_all(self.neighbors.iter().copied(), payload);
     }
 
     /// Handles a rumour; returns `false` if an equivocation was detected.
-    fn absorb_rumor(&mut self, source: PartyId, value: Vec<u8>, ctx: &mut PartyCtx) -> bool {
+    ///
+    /// `raw` is the inbound envelope's full message buffer. A forwarded
+    /// rumour is byte-identical to the received one, so the relay shares
+    /// `raw` with every neighbour instead of re-encoding — the zero-copy
+    /// relay path. Charged bits are unchanged: the shared buffer has exactly
+    /// the length the re-encoded message would have.
+    fn absorb_rumor(
+        &mut self,
+        source: PartyId,
+        value: Payload,
+        raw: &Payload,
+        ctx: &mut PartyCtx,
+    ) -> bool {
         match self.view.get(&source) {
             Some(existing) if *existing != value => false,
             Some(_) => true,
             None => {
-                self.view.insert(source, value.clone());
+                self.view.insert(source, value);
                 if self.forwarded.insert(source) {
-                    self.broadcast_to_neighbors(ctx, &GossipMsg::Rumor { source, value });
+                    self.broadcast_to_neighbors(ctx, raw);
                 }
                 true
             }
@@ -142,15 +183,15 @@ impl PartyLogic for GossipParty {
     ) -> Step<GossipView> {
         if round == 0 {
             if let Some(value) = self.input.clone() {
-                self.view.insert(self.id, value.clone());
+                // Materialise the announcement once; every neighbour's
+                // envelope shares the same buffer.
+                let announcement = Payload::encode(&GossipMsg::Rumor {
+                    source: self.id,
+                    value: value.clone(),
+                });
+                self.view.insert(self.id, value);
                 self.forwarded.insert(self.id);
-                self.broadcast_to_neighbors(
-                    ctx,
-                    &GossipMsg::Rumor {
-                        source: self.id,
-                        value,
-                    },
-                );
+                self.broadcast_to_neighbors(ctx, &announcement);
             }
             return Step::Continue;
         }
@@ -167,9 +208,9 @@ impl PartyLogic for GossipParty {
                     envelope.from
                 )));
             }
-            match envelope.decode::<GossipMsg>() {
+            match GossipMsg::decode_shared(envelope) {
                 Ok(GossipMsg::Rumor { source, value }) => {
-                    if !self.absorb_rumor(source, value, ctx) {
+                    if !self.absorb_rumor(source, value, &envelope.payload, ctx) {
                         self.warned = true;
                     }
                 }
@@ -180,7 +221,7 @@ impl PartyLogic for GossipParty {
             }
         }
         if self.warned {
-            self.broadcast_to_neighbors(ctx, &GossipMsg::Warning);
+            self.broadcast_to_neighbors(ctx, &Payload::encode(&GossipMsg::Warning));
             return Step::Abort(AbortReason::Equivocation(
                 "conflicting rumours observed (or warning received)".into(),
             ));
@@ -231,8 +272,20 @@ mod tests {
             .iter()
             .filter(|(id, _)| !corrupted.contains(id))
             .map(|(id, neighbors)| {
-                GossipParty::new(*id, neighbors.clone(), inputs.get(id).cloned(), rounds)
+                GossipParty::new(
+                    *id,
+                    neighbors.clone(),
+                    inputs.get(id).cloned().map(Payload::from),
+                    rounds,
+                )
             })
+            .collect()
+    }
+
+    fn as_view(inputs: &BTreeMap<PartyId, Vec<u8>>) -> GossipView {
+        inputs
+            .iter()
+            .map(|(id, value)| (*id, Payload::from(value.clone())))
             .collect()
     }
 
@@ -249,8 +302,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(!result.any_abort());
-        let expected: GossipView = inputs.clone();
-        assert_eq!(result.unanimous_output(), Some(&expected));
+        assert_eq!(result.unanimous_output(), Some(&as_view(&inputs)));
     }
 
     #[test]
@@ -268,7 +320,7 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        assert_eq!(result.unanimous_output(), Some(&inputs));
+        assert_eq!(result.unanimous_output(), Some(&as_view(&inputs)));
     }
 
     #[test]
@@ -328,7 +380,7 @@ mod tests {
                             *peer,
                             &GossipMsg::Rumor {
                                 source: PartyId(0),
-                                value,
+                                value: value.into(),
                             },
                         );
                     }
@@ -368,12 +420,47 @@ mod tests {
         for msg in [
             GossipMsg::Rumor {
                 source: PartyId(7),
-                value: vec![1, 2, 3],
+                value: vec![1, 2, 3].into(),
             },
             GossipMsg::Warning,
         ] {
             let back: GossipMsg = mpca_wire::from_bytes(&mpca_wire::to_bytes(&msg)).unwrap();
             assert_eq!(back, msg);
+            // The zero-copy decode path agrees with the generic one.
+            let envelope = mpca_net::Envelope::new(PartyId(7), PartyId(8), Payload::encode(&msg));
+            assert_eq!(GossipMsg::decode_shared(&envelope).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn relaying_rumors_shares_buffers_without_changing_charged_bits() {
+        // A 3-party line 0 – 1 – 2: party 1 relays party 0's rumour to
+        // party 2. The relayed envelope must share its buffer with the
+        // inbound one (no re-encode, no copy), and the bits charged for the
+        // relay hop must equal the bits charged for the original hop.
+        let line: BTreeMap<PartyId, BTreeSet<PartyId>> = [
+            (PartyId(0), [PartyId(1)].into_iter().collect()),
+            (PartyId(1), [PartyId(0), PartyId(2)].into_iter().collect()),
+            (PartyId(2), [PartyId(1)].into_iter().collect()),
+        ]
+        .into_iter()
+        .collect();
+        let inputs: BTreeMap<PartyId, Vec<u8>> =
+            [(PartyId(0), vec![0xAB; 100])].into_iter().collect();
+        let parties = gossip_parties(&line, &inputs, 4, &BTreeSet::new());
+        let result = Simulator::all_honest(3, parties).unwrap().run().unwrap();
+        assert!(!result.any_abort());
+        assert_eq!(result.unanimous_output(), Some(&as_view(&inputs)));
+        // P0 announces once to P1; P1 forwards once to each of its two
+        // neighbours. Every hop carries the same encoding, so the relay
+        // charges exactly 2× the original hop.
+        let original = result.stats.bytes_sent_by_party(PartyId(0));
+        let relayed = result.stats.bytes_sent_by_party(PartyId(1));
+        assert!(original > 100, "rumour must carry the 100-byte value");
+        assert_eq!(
+            relayed,
+            2 * original,
+            "relaying must charge the same per-hop bits as the original send"
+        );
     }
 }

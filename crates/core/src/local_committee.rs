@@ -20,7 +20,9 @@ use std::collections::BTreeSet;
 
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{
+    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::committee::{encode_committee, CommitteeView};
@@ -146,7 +148,7 @@ impl PartyLogic for LocalCommitteeElectParty {
                     self.sparse = None;
                     // Step 2: the election coin.
                     self.elected = self.prg.gen_bool(self.params.local_election_probability());
-                    let input = if self.elected { Some(vec![1u8]) } else { None };
+                    let input = self.elected.then(|| Payload::from(vec![1u8]));
                     self.gossip = Some(GossipParty::new(
                         self.id,
                         self.neighbors.clone(),

@@ -17,7 +17,7 @@
 //!
 //! **Substitution note.** The real construction broadcasts multi-key-FHE
 //! ciphertexts and recovers the output from everyone's partial decryptions;
-//! implementing MK-FHE is out of scope (DESIGN.md §3), so the gossiped
+//! implementing MK-FHE is out of scope (DESIGN.md §2), so the gossiped
 //! payload here carries the party's input padded to the Theorem 9 size and
 //! the output is computed locally from the (verified-consistent) gossip
 //! view. The communication pattern, payload sizes, abort logic and locality
@@ -27,7 +27,9 @@
 use std::collections::BTreeSet;
 
 use mpca_encfunc::spec::Functionality;
-use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{
+    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+};
 
 use crate::gossip::{GossipParty, GossipView};
 use crate::params::ProtocolParams;
@@ -87,20 +89,20 @@ impl LocalMpcParty {
     }
 
     /// The Theorem 9 first-round payload: the input padded to
-    /// `poly(λ, D, ℓ_in)` bytes.
-    fn input_payload(&self) -> Vec<u8> {
+    /// `poly(λ, D, ℓ_in)` bytes. Materialised once; gossip shares it.
+    fn input_payload(&self) -> Payload {
         let size = self
             .params
             .cost_model(self.functionality.depth())
             .broadcast_payload_bytes(self.functionality.input_bytes());
         let mut payload = self.input.clone();
         payload.resize(size.max(self.input.len()), 0);
-        payload
+        Payload::from(payload)
     }
 
     /// The output-phase payload: the locally computed output padded to the
-    /// partial-decryption size.
-    fn output_payload(&self, output: &[u8]) -> Vec<u8> {
+    /// partial-decryption size. Materialised once; gossip shares it.
+    fn output_payload(&self, output: &[u8]) -> Payload {
         let size = self
             .params
             .cost_model(self.functionality.depth())
@@ -109,7 +111,7 @@ impl LocalMpcParty {
             * output.len().max(1);
         let mut payload = output.to_vec();
         payload.resize((size / 8).max(output.len()), 0);
-        payload
+        Payload::from(payload)
     }
 
     /// Recovers each party's input from the gossiped payload view and
@@ -118,7 +120,7 @@ impl LocalMpcParty {
         let width = self.functionality.input_bytes();
         let inputs: Vec<Vec<u8>> = PartyId::all(self.params.n)
             .map(|id| {
-                let mut bytes = view.get(&id).cloned().unwrap_or_default();
+                let mut bytes = view.get(&id).map(Payload::to_vec).unwrap_or_default();
                 bytes.resize(width, 0);
                 bytes.truncate(width);
                 bytes
@@ -204,8 +206,10 @@ impl PartyLogic for LocalMpcParty {
                     if *source == self.id {
                         continue;
                     }
+                    // Prefix framing over the shared buffer: `prefix` is an
+                    // O(1) window, not a copy.
                     if payload.len() < my_payload_prefix.len()
-                        || payload[..my_payload_prefix.len()] != my_payload_prefix[..]
+                        || payload.prefix(my_payload_prefix.len()) != my_payload_prefix
                     {
                         return Step::Abort(AbortReason::Equivocation(format!(
                             "{source} reported a different output"
@@ -376,7 +380,7 @@ mod tests {
                             to,
                             &crate::gossip::GossipMsg::Rumor {
                                 source: PartyId(3),
-                                value,
+                                value: value.into(),
                             },
                         );
                     }

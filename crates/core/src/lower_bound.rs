@@ -107,11 +107,11 @@ impl LimitedBroadcastParty {
         if self.forwarded {
             return;
         }
-        if let Some(value) = self.heard.clone() {
+        if let Some(value) = &self.heard {
             self.forwarded = true;
-            for peer in self.contacts.clone() {
-                ctx.send_msg(peer, &ValueMsg(value.clone()));
-            }
+            // Encode once; every contacted peer shares the same buffer.
+            let payload = mpca_net::Payload::encode(&ValueMsg(value.clone()));
+            ctx.send_payload_to_all(self.contacts.iter().copied(), &payload);
         }
     }
 }

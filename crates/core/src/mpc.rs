@@ -33,7 +33,9 @@ use mpca_encfunc::keygen::{combine_contributions, shared_matrix_from_crs, Keygen
 use mpca_encfunc::linear;
 use mpca_encfunc::spec::Functionality;
 use mpca_encfunc::SharedHost;
-use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{
+    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::committee::{CommitteeElectParty, CommitteeView};
@@ -411,7 +413,10 @@ impl PartyLogic for MpcParty {
                         .into_iter()
                         .filter(|p| *p != self.id)
                         .collect();
-                    ctx.send_to_all(recipients, &MpcMsg::PublicKey(pk_b));
+                    // The Õ(λ²)-byte public key fans out to all n − 1
+                    // parties; materialise it once and share the buffer.
+                    let payload = Payload::encode(&MpcMsg::PublicKey(pk_b));
+                    ctx.send_payload_to_all(recipients, &payload);
                 }
                 Step::Continue
             }
@@ -631,7 +636,8 @@ impl PartyLogic for MpcParty {
                         .into_iter()
                         .filter(|p| *p != self.id)
                         .collect();
-                    ctx.send_to_all(recipients, &MpcMsg::Output(output));
+                    let payload = Payload::encode(&MpcMsg::Output(output));
+                    ctx.send_payload_to_all(recipients, &payload);
                 }
                 Step::Continue
             }

@@ -24,7 +24,9 @@ use mpca_encfunc::keygen::shared_matrix_from_crs;
 use mpca_encfunc::signing::SignedOutput;
 use mpca_encfunc::spec::MultiOutputFunctionality;
 use mpca_encfunc::SharedHost;
-use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{
+    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::committee::{CommitteeElectParty, CommitteeView};
@@ -289,7 +291,10 @@ impl PartyLogic for MultiOutputParty {
                     let recipients: Vec<PartyId> = PartyId::all(self.params.n)
                         .filter(|p| *p != self.id)
                         .collect();
-                    ctx.send_to_all(recipients, &MultiMsg::Keys(pk_b, sig_pk));
+                    // The PKE + signature key bundle fans out to all n − 1
+                    // parties; one materialisation shared across the fleet.
+                    let payload = Payload::encode(&MultiMsg::Keys(pk_b, sig_pk));
+                    ctx.send_payload_to_all(recipients, &payload);
                 }
                 Step::Continue
             }
@@ -336,7 +341,8 @@ impl PartyLogic for MultiOutputParty {
                 let input_ct = pk.encrypt_bytes(&mut self.prg, &self.input);
                 let key_ct = pk.encrypt_bytes(&mut self.prg, key.as_bytes());
                 let committee: Vec<PartyId> = self.committee.iter().copied().collect();
-                ctx.send_to_all(committee, &MultiMsg::Inputs(input_ct, key_ct));
+                let payload = Payload::encode(&MultiMsg::Inputs(input_ct, key_ct));
+                ctx.send_payload_to_all(committee, &payload);
                 Step::Continue
             }
             // Members collect and start the pairwise equality check (step 8).

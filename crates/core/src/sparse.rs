@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::params::ProtocolParams;
@@ -102,9 +102,8 @@ impl PartyLogic for SparseNetworkParty {
                     }
                 }
                 self.outgoing = candidates.into_iter().map(PartyId).collect();
-                for peer in &self.outgoing {
-                    ctx.send_msg(*peer, &ConnectMsg);
-                }
+                let request = Payload::encode(&ConnectMsg);
+                ctx.send_payload_to_all(self.outgoing.iter().copied(), &request);
                 Step::Continue
             }
             1 => {

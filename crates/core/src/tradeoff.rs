@@ -21,7 +21,9 @@ use mpca_encfunc::keygen::{combine_contributions, shared_matrix_from_crs, Keygen
 use mpca_encfunc::linear;
 use mpca_encfunc::spec::Functionality;
 use mpca_encfunc::SharedHost;
-use mpca_net::{AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Step};
+use mpca_net::{
+    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+};
 
 use crate::equality::PairwiseEquality;
 use crate::local_committee::{
@@ -406,9 +408,12 @@ impl PartyLogic for TradeoffParty {
                         }
                     }
                     self.ct_view = self.direct_cts.clone();
-                    let forward = mpca_wire::to_bytes(&self.direct_cts);
                     // Re-use the Filler frame to carry the serialized map.
-                    ctx.send_to_all(self.other_members(), &MpcMsg::Filler(forward));
+                    // This is the protocol's heaviest relay (a whole cover's
+                    // ciphertexts): one materialisation, |C| − 1 shares.
+                    let forward =
+                        Payload::encode(&MpcMsg::Filler(mpca_wire::to_bytes(&self.direct_cts)));
+                    ctx.send_payload_to_all(self.other_members(), &forward);
                 } else if !incoming.is_empty() {
                     return Step::Abort(AbortReason::OverReceipt(
                         "ciphertext sent to a non-member".into(),
@@ -595,7 +600,8 @@ impl PartyLogic for TradeoffParty {
                         .copied()
                         .filter(|p| *p != self.id)
                         .collect();
-                    ctx.send_to_all(recipients, &MpcMsg::Output(output));
+                    let payload = Payload::encode(&MpcMsg::Output(output));
+                    ctx.send_payload_to_all(recipients, &payload);
                 }
                 Step::Continue
             }

@@ -26,7 +26,7 @@
 //!    tallies) the examples and several experiments use.
 //!
 //! The substitution (full multi-key FHE + UC NIZK → the two paths above) is
-//! documented in DESIGN.md §3.
+//! documented in DESIGN.md §2.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

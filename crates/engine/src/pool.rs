@@ -6,7 +6,7 @@ use std::fmt::Debug;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mpca_net::{NetError, PartyLogic, Simulator};
+use mpca_net::{NetError, PartyLogic, PayloadAllocStats, Simulator};
 
 use crate::backend::ExecutionBackend;
 use crate::report::{BatchReport, SessionReport};
@@ -102,6 +102,7 @@ impl<B: ExecutionBackend> SessionPool<B> {
             (0..total).map(|_| Mutex::new(None)).collect();
 
         let start = Instant::now();
+        let alloc_before = PayloadAllocStats::snapshot();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -115,6 +116,7 @@ impl<B: ExecutionBackend> SessionPool<B> {
             }
         });
         let wall = start.elapsed();
+        let allocated = PayloadAllocStats::snapshot().since(alloc_before);
 
         let mut sessions = Vec::with_capacity(total);
         for slot in slots {
@@ -129,6 +131,7 @@ impl<B: ExecutionBackend> SessionPool<B> {
             wall,
             workers,
             backend: self.backend.name(),
+            allocated_payload_bytes: allocated.bytes,
         })
     }
 }

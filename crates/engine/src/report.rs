@@ -38,8 +38,9 @@ impl OutcomeDigest {
 /// The result of one pooled session.
 ///
 /// Equality ignores [`SessionReport::wall`]: two reports are equal when the
-/// *execution* (label, outcomes, statistics, rounds) is identical, which is
-/// exactly the determinism property the engine guarantees across backends.
+/// *execution* (label, outcomes, statistics, rounds, inbox high-water marks)
+/// is identical, which is exactly the determinism property the engine
+/// guarantees across backends.
 #[derive(Debug, Clone)]
 pub struct SessionReport {
     /// The label the session was submitted under.
@@ -50,6 +51,11 @@ pub struct SessionReport {
     pub stats: CommStats,
     /// Rounds executed.
     pub rounds: usize,
+    /// Peak bytes queued in the simulator's inboxes at any round boundary.
+    /// Deterministic across backends (part of equality).
+    pub peak_inbox_bytes: u64,
+    /// Peak envelopes queued at any round boundary.
+    pub peak_inbox_envelopes: u64,
     /// Wall-clock time of this session (build + execution).
     pub wall: Duration,
 }
@@ -60,6 +66,8 @@ impl PartialEq for SessionReport {
             && self.outcomes == other.outcomes
             && self.stats == other.stats
             && self.rounds == other.rounds
+            && self.peak_inbox_bytes == other.peak_inbox_bytes
+            && self.peak_inbox_envelopes == other.peak_inbox_envelopes
     }
 }
 
@@ -79,6 +87,8 @@ impl SessionReport {
                 .collect(),
             stats: result.stats.clone(),
             rounds: result.rounds,
+            peak_inbox_bytes: result.peak_inbox_bytes,
+            peak_inbox_envelopes: result.peak_inbox_envelopes,
             wall,
         }
     }
@@ -105,12 +115,27 @@ pub struct BatchReport {
     pub workers: usize,
     /// Name of the backend that drove the sessions.
     pub backend: &'static str,
+    /// Bytes materialised into fresh `Payload` buffers while the batch ran
+    /// (process-wide counter delta over `run()`). With the zero-copy plane
+    /// this sits well below `total_bytes()`: fan-out and relays share
+    /// buffers instead of copying them. Telemetry only — excluded from any
+    /// equality, since concurrent batches share the process counter.
+    pub allocated_payload_bytes: u64,
 }
 
 impl BatchReport {
     /// Total bytes sent across all sessions.
     pub fn total_bytes(&self) -> u64 {
         self.sessions.iter().map(SessionReport::total_bytes).sum()
+    }
+
+    /// The largest per-session inbox high-water mark, in bytes.
+    pub fn peak_inbox_bytes(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.peak_inbox_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total rounds executed across all sessions.
@@ -136,12 +161,15 @@ impl BatchReport {
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} sessions on {} workers ({} backend): {} rounds, {} bytes, {:.1} sessions/s, {:.0} rounds/s",
+            "{} sessions on {} workers ({} backend): {} rounds, {} bytes sent \
+             ({} allocated, peak inbox {}), {:.1} sessions/s, {:.0} rounds/s",
             self.sessions.len(),
             self.workers,
             self.backend,
             self.total_rounds(),
             self.total_bytes(),
+            self.allocated_payload_bytes,
+            self.peak_inbox_bytes(),
             self.sessions_per_sec(),
             self.rounds_per_sec(),
         )
@@ -162,6 +190,8 @@ mod tests {
             outcomes: [(PartyId(0), OutcomeDigest::Output("42".into()))].into(),
             stats,
             rounds,
+            peak_inbox_bytes: 10,
+            peak_inbox_envelopes: 1,
             wall: Duration::from_millis(wall_ms),
         }
     }
@@ -191,12 +221,22 @@ mod tests {
             wall: Duration::from_millis(100),
             workers: 4,
             backend: "parallel",
+            allocated_payload_bytes: 7,
         };
         assert_eq!(batch.total_rounds(), 5);
         assert_eq!(batch.total_bytes(), 20);
+        assert_eq!(batch.peak_inbox_bytes(), 10);
         assert!(batch.sessions_per_sec() > 19.0 && batch.sessions_per_sec() < 21.0);
         assert!(batch.session("a").is_some());
         assert!(batch.session("zzz").is_none());
         assert!(batch.summary().contains("2 sessions"));
+        assert!(batch.summary().contains("7 allocated"));
+    }
+
+    #[test]
+    fn equality_covers_the_inbox_high_water_marks() {
+        let mut divergent = report("a", 2, 5);
+        divergent.peak_inbox_bytes += 1;
+        assert_ne!(report("a", 2, 5), divergent);
     }
 }

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::envelope::Envelope;
 use crate::party::{PartyCtx, PartyId, PartyLogic};
+use crate::payload::Payload;
 
 /// Context the adversary uses to inject messages.
 #[derive(Debug, Default)]
@@ -36,8 +37,12 @@ impl AdversaryCtx {
     ///
     /// The simulator asserts that `from` is indeed corrupted: the adversary
     /// cannot spoof honest senders on authenticated point-to-point channels.
-    pub fn send_as(&mut self, from: PartyId, to: PartyId, payload: Vec<u8>) {
-        self.outgoing.push(Envelope { from, to, payload });
+    pub fn send_as(&mut self, from: PartyId, to: PartyId, payload: impl Into<Payload>) {
+        self.outgoing.push(Envelope {
+            from,
+            to,
+            payload: payload.into(),
+        });
     }
 
     /// Sends an encodable message from `from` to `to`.
@@ -47,7 +52,7 @@ impl AdversaryCtx {
         to: PartyId,
         msg: &T,
     ) {
-        self.send_as(from, to, mpca_wire::to_bytes(msg));
+        self.send_as(from, to, Payload::encode(msg));
     }
 
     /// Drains queued envelopes (used by the simulator).
@@ -173,7 +178,8 @@ impl Adversary for FloodAdversary {
         _delivered: &BTreeMap<PartyId, Vec<Envelope>>,
         ctx: &mut AdversaryCtx,
     ) {
-        let junk = vec![0xEEu8; self.junk_bytes];
+        // One junk buffer per round, shared by every flooded envelope.
+        let junk = Payload::from_vec(vec![0xEEu8; self.junk_bytes]);
         for &from in &self.corrupted {
             for &to in &self.victims {
                 ctx.send_as(from, to, junk.clone());
@@ -232,6 +238,11 @@ impl<L: PartyLogic> ProxyAdversary<L> {
 
     /// A proxy adversary whose corrupted parties behave entirely honestly
     /// (useful as a baseline: the protocol must succeed).
+    ///
+    /// The identity hook clones the envelope, which since the `Payload`
+    /// migration shares the body buffer instead of copying it — the honest
+    /// baseline no longer pays a per-envelope copy (let alone the historical
+    /// clone-then-move double copy).
     pub fn honest(parties: impl IntoIterator<Item = L>, n: usize) -> Self {
         Self::new(parties, n, |_, envelope| vec![envelope.clone()])
     }

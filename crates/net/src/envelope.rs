@@ -1,13 +1,17 @@
 //! Point-to-point message envelopes.
 
 use crate::party::PartyId;
+use crate::payload::Payload;
 
 /// A single point-to-point message.
 ///
-/// The payload is an opaque byte string produced by `mpca-wire`; the
-/// simulator charges `8 × payload.len()` bits of communication to the sender
-/// (header metadata is not charged, mirroring how the paper counts message
-/// contents rather than transport framing).
+/// The payload is an opaque byte string produced by `mpca-wire`, held as a
+/// shared [`Payload`] buffer so that routing, relaying and adversarial
+/// inspection never copy message bodies. The simulator charges
+/// `8 × payload.len()` bits of communication to the sender (header metadata
+/// is not charged, mirroring how the paper counts message contents rather
+/// than transport framing) — sharing a buffer does not change its length, so
+/// the zero-copy plane charges exactly what a copying plane would.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Claimed sender. The network is authenticated point-to-point (each
@@ -18,14 +22,18 @@ pub struct Envelope {
     pub from: PartyId,
     /// Recipient.
     pub to: PartyId,
-    /// Encoded message body.
-    pub payload: Vec<u8>,
+    /// Encoded message body (shared, O(1) to clone).
+    pub payload: Payload,
 }
 
 impl Envelope {
     /// Creates an envelope.
-    pub fn new(from: PartyId, to: PartyId, payload: Vec<u8>) -> Self {
-        Self { from, to, payload }
+    pub fn new(from: PartyId, to: PartyId, payload: impl Into<Payload>) -> Self {
+        Self {
+            from,
+            to,
+            payload: payload.into(),
+        }
     }
 
     /// Size of the payload in bytes.
@@ -54,5 +62,15 @@ mod tests {
         assert_eq!(e.payload_len(), 4);
         assert_eq!(e.decode::<u32>().unwrap(), 99);
         assert!(e.decode::<u64>().is_err());
+    }
+
+    #[test]
+    fn cloning_an_envelope_shares_the_payload() {
+        let e = Envelope::new(PartyId(0), PartyId(1), vec![1u8; 1024]);
+        let copies: Vec<Envelope> = (0..64).map(|_| e.clone()).collect();
+        assert!(
+            copies.iter().all(|c| c.payload.ptr_eq(&e.payload)),
+            "envelope clones must share the body buffer, not copy it"
+        );
     }
 }

@@ -39,6 +39,7 @@ pub mod crs;
 pub mod envelope;
 pub mod error;
 pub mod party;
+pub mod payload;
 pub mod simulator;
 pub mod stats;
 
@@ -49,6 +50,7 @@ pub use crs::CommonRandomString;
 pub use envelope::Envelope;
 pub use error::NetError;
 pub use party::{AbortReason, PartyCtx, PartyId, PartyLogic, Step};
+pub use payload::{Payload, PayloadAllocStats, PayloadBuilder};
 pub use simulator::{
     InlineDriver, PartyOutcome, PartyStep, PartyTask, RoundDriver, RoundReport, RunResult,
     SimConfig, Simulator,

@@ -5,6 +5,7 @@ use std::fmt;
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::envelope::Envelope;
+use crate::payload::Payload;
 
 /// Identifier of a party, in `0..n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -163,31 +164,46 @@ impl PartyCtx {
 
     /// Queues a message to `to`, to be delivered next round.
     ///
+    /// Accepts anything convertible into a [`Payload`]; pass a `Payload`
+    /// handle (or clone of one) to share an already-materialised buffer.
+    ///
     /// Sending to oneself is allowed but pointless; it is counted like any
     /// other message so protocols avoid it.
-    pub fn send(&mut self, to: PartyId, payload: Vec<u8>) {
+    pub fn send(&mut self, to: PartyId, payload: impl Into<Payload>) {
         debug_assert!(to.index() < self.n, "recipient {to} out of range");
         self.outgoing.push(Envelope {
             from: self.id,
             to,
-            payload,
+            payload: payload.into(),
         });
     }
 
     /// Queues an encodable message to `to`.
     pub fn send_msg<T: Encode + ?Sized>(&mut self, to: PartyId, msg: &T) {
-        self.send(to, mpca_wire::to_bytes(msg));
+        self.send(to, Payload::encode(msg));
     }
 
     /// Queues the same encodable message to every party in `recipients`.
+    ///
+    /// The message is encoded **once**; every recipient's envelope shares
+    /// the same buffer (O(1) per extra recipient).
     pub fn send_to_all<T: Encode + ?Sized>(
         &mut self,
         recipients: impl IntoIterator<Item = PartyId>,
         msg: &T,
     ) {
-        let bytes = mpca_wire::to_bytes(msg);
+        self.send_payload_to_all(recipients, &Payload::encode(msg));
+    }
+
+    /// Queues an already-materialised payload to every party in
+    /// `recipients`, sharing the buffer (O(1) per recipient).
+    pub fn send_payload_to_all(
+        &mut self,
+        recipients: impl IntoIterator<Item = PartyId>,
+        payload: &Payload,
+    ) {
         for to in recipients {
-            self.send(to, bytes.clone());
+            self.send(to, payload.clone());
         }
     }
 
@@ -230,6 +246,18 @@ mod tests {
         assert_eq!(out[0].to, PartyId(1));
         assert_eq!(out[0].payload, vec![1, 2, 3]);
         assert!(ctx.take_outgoing().is_empty());
+    }
+
+    #[test]
+    fn send_to_all_materialises_the_message_once() {
+        let n = 64;
+        let mut ctx = PartyCtx::new(PartyId(0), n);
+        ctx.send_to_all(PartyId::all(n), &vec![0xEEu8; 256]);
+        let out = ctx.take_outgoing();
+        assert_eq!(out.len(), n);
+        // Buffer identity across every envelope proves a single
+        // materialisation shared by all recipients.
+        assert!(out.windows(2).all(|w| w[0].payload.ptr_eq(&w[1].payload)));
     }
 
     #[test]

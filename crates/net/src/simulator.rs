@@ -64,6 +64,14 @@ pub struct RunResult<O> {
     pub stats: CommStats,
     /// Number of rounds executed.
     pub rounds: usize,
+    /// Largest number of payload bytes queued for delivery at any single
+    /// round boundary (honest sends plus adversarial injections). A memory
+    /// high-water mark of the message plane; deterministic across round
+    /// drivers, so backend-equivalence checks include it.
+    pub peak_inbox_bytes: u64,
+    /// Largest number of envelopes queued for delivery at any single round
+    /// boundary.
+    pub peak_inbox_envelopes: u64,
 }
 
 impl<O: PartialEq + std::fmt::Debug> RunResult<O> {
@@ -237,6 +245,8 @@ pub struct Simulator<L: PartyLogic> {
     stats: CommStats,
     outcomes: BTreeMap<PartyId, PartyOutcome<L::Output>>,
     inboxes: BTreeMap<PartyId, Vec<Envelope>>,
+    peak_inbox_bytes: u64,
+    peak_inbox_envelopes: u64,
 }
 
 impl<L: PartyLogic> std::fmt::Debug for Simulator<L> {
@@ -303,6 +313,8 @@ impl<L: PartyLogic> Simulator<L> {
             stats: CommStats::new(),
             outcomes: BTreeMap::new(),
             inboxes: BTreeMap::new(),
+            peak_inbox_bytes: 0,
+            peak_inbox_envelopes: 0,
         })
     }
 
@@ -397,6 +409,8 @@ impl<L: PartyLogic> Simulator<L> {
                 outcomes: self.outcomes,
                 stats: self.stats,
                 rounds: self.round,
+                peak_inbox_bytes: self.peak_inbox_bytes,
+                peak_inbox_envelopes: self.peak_inbox_envelopes,
             })
         } else {
             Err(NetError::ExecutionIncomplete {
@@ -515,9 +529,15 @@ impl<L: PartyLogic> Simulator<L> {
         }
 
         // Deterministic delivery order: sort by sender id.
+        let mut queued_bytes = 0u64;
+        let mut queued_envelopes = 0u64;
         for queue in next_inboxes.values_mut() {
             queue.sort_by_key(|e| e.from);
+            queued_envelopes += queue.len() as u64;
+            queued_bytes += queue.iter().map(|e| e.payload_len() as u64).sum::<u64>();
         }
+        self.peak_inbox_bytes = self.peak_inbox_bytes.max(queued_bytes);
+        self.peak_inbox_envelopes = self.peak_inbox_envelopes.max(queued_envelopes);
         self.inboxes = next_inboxes;
         self.round = round + 1;
 
@@ -691,7 +711,7 @@ mod tests {
         let adversary = ProxyAdversary::new(corrupted_logic, n, |_round, envelope| {
             let mut out = envelope.clone();
             if envelope.to != PartyId(1) {
-                out.payload = mpca_wire::to_bytes(&100u64);
+                out.payload = crate::payload::Payload::encode(&100u64);
             }
             vec![out]
         });

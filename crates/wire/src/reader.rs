@@ -34,6 +34,14 @@ impl<'a> Reader<'a> {
         self.bytes.len() - self.pos
     }
 
+    /// Byte offset of the cursor from the start of the underlying slice.
+    ///
+    /// Zero-copy decoders (e.g. `mpca-net`'s `Payload` subslicing) use this
+    /// to map a decoded field back to its position in a shared buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Returns `true` if all bytes have been consumed.
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0

@@ -53,7 +53,7 @@ fn main() {
             GossipParty::new(
                 *id,
                 neighbors.clone(),
-                Some(vec![id.index() as u8; 8]),
+                Some(vec![id.index() as u8; 8].into()),
                 params.gossip_rounds(),
             )
         })

@@ -147,6 +147,73 @@ fn parallel_pool_matches_sequential_single_session_runs() {
     assert!(pooled.sessions.iter().all(|s| !s.any_abort()));
 }
 
+/// Renders the `CommStats` digest compared against the checked-in golden
+/// vector: every quantity the paper's communication measure is built from,
+/// in a stable JSON shape. Regenerate with `MPCA_BLESS=1 cargo test`.
+fn commstats_digest_json(
+    n: usize,
+    h: usize,
+    result: &mpc_aborts::net::RunResult<Vec<u8>>,
+) -> String {
+    let per_party: Vec<String> = PartyId::all(n)
+        .map(|id| {
+            format!(
+                "{{\"party\":{},\"bytes\":{},\"peers\":{}}}",
+                id.index(),
+                result.stats.bytes_sent_by_party(id),
+                result.stats.peers_of(id).len()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"mpc-aborts/commstats-golden/v1\",\n  \"protocol\": \"mpc::MpcParty\",\n  \"n\": {n},\n  \"h\": {h},\n  \"crs_label\": \"golden-mpc-n16-h4\",\n  \"rounds\": {},\n  \"total_bytes\": {},\n  \"total_messages\": {},\n  \"honest_bits\": {},\n  \"max_locality\": {},\n  \"per_party\": [\n    {}\n  ]\n}}\n",
+        result.rounds,
+        result.stats.total_bytes(),
+        result.stats.total_messages(),
+        result.honest_bits(),
+        result.honest_locality(),
+        per_party.join(",\n    ")
+    )
+}
+
+/// The golden-vector acceptance test for the zero-copy message plane: the
+/// `CommStats` of an `MpcParty` execution at `n = 16, h = 4` must match a
+/// digest recorded **before** the `Payload` refactor, byte for byte. Charged
+/// communication is a paper-level quantity; swapping the transport's buffer
+/// representation must not move it.
+#[test]
+fn mpc_commstats_matches_pre_refactor_golden_vector() {
+    let (n, h) = (16usize, 4usize);
+    let (params, inputs) = (sum_params(n, h), sum_inputs(n));
+    let functionality = Functionality::Sum { input_bytes: 2 };
+    let crs = CommonRandomString::from_label(b"golden-mpc-n16-h4");
+    let parties = mpc::mpc_parties(
+        &params,
+        &functionality,
+        ExecutionPath::Concrete,
+        &inputs,
+        crs,
+        None,
+        &BTreeSet::new(),
+    );
+    let result = Simulator::all_honest(n, parties).unwrap().run().unwrap();
+    let digest = commstats_digest_json(n, h, &result);
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/commstats_mpc_n16_h4.json"
+    );
+    if std::env::var_os("MPCA_BLESS").is_some() {
+        std::fs::write(path, &digest).expect("write golden vector");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden vector is checked in");
+    assert_eq!(
+        digest, golden,
+        "CommStats diverged from the pre-refactor golden vector"
+    );
+}
+
 #[test]
 fn pooled_session_matches_direct_simulator_run() {
     // Spot-check against the plain `Simulator::run` path (no engine at all):

@@ -32,6 +32,13 @@ where
     prop_assert_eq!(&sequential.outcomes, &parallel.outcomes);
     prop_assert_eq!(&sequential.stats, &parallel.stats);
     prop_assert_eq!(sequential.rounds, parallel.rounds);
+    // The message-plane high-water marks are part of the determinism
+    // contract too: scheduling must not change what gets queued when.
+    prop_assert_eq!(sequential.peak_inbox_bytes, parallel.peak_inbox_bytes);
+    prop_assert_eq!(
+        sequential.peak_inbox_envelopes,
+        parallel.peak_inbox_envelopes
+    );
     Ok(())
 }
 
