@@ -722,6 +722,45 @@ pub fn exp_message_plane() -> Table {
     table
 }
 
+/// `E15-scenario-campaign` — the `mpca-scenario` subsystem: the standard
+/// adversarial campaign (every protocol family under honest, silent,
+/// crash-at-round, withholding, equivocating and triggered-flood
+/// adversaries) runs as one pooled batch, and the security-property oracle
+/// checks every session against the paper's predicates. The campaign
+/// carries a rigged negative control (a verification-free sum under
+/// equivocation) the oracle **must** flag, so a row with `VIOLATED`
+/// agreement and `expected? = yes` is a passing result.
+pub fn exp_scenario_campaign() -> Table {
+    let mut table = Table::new(
+        "E15-scenario-campaign",
+        "Adversarial-scenario campaign: oracle verdicts (Agreement / Identified-abort / \
+         Flooding-rule / comm-Budget) per scenario; 'ctl-equivocate' is the rigged control the \
+         oracle must flag.",
+        &mpca_scenario::CampaignReport::ROW_HEADERS,
+    );
+    let report = mpca_scenario::standard_campaign(0)
+        .run(Sequential, 2)
+        .expect("scenario campaign executes");
+    assert!(
+        report.len() >= 12,
+        "acceptance requires >= 12 scenarios, got {}",
+        report.len()
+    );
+    assert!(
+        report.all_as_expected(),
+        "every verdict must match its expectation:\n{}",
+        report.render()
+    );
+    assert!(
+        !report.violations().is_empty(),
+        "the rigged control must be flagged Violated"
+    );
+    for outcome in &report.outcomes {
+        table.push_row(outcome.row_cells());
+    }
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -742,6 +781,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E12-adversary", exp_adversary),
         ("E13-engine-sweep", exp_engine_sweep),
         ("E14-message-plane", exp_message_plane),
+        ("E15-scenario-campaign", exp_scenario_campaign),
     ]
 }
 
@@ -790,7 +830,40 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 14);
+        assert_eq!(all_experiments().len(), 15);
+    }
+
+    #[test]
+    fn scenario_campaign_holds_everywhere_except_the_control() {
+        let _guard = serial();
+        let table = exp_scenario_campaign();
+        assert!(table.rows.len() >= 12);
+        // Every row matches its expectation, and exactly the rigged control
+        // rows are flagged on agreement.
+        // Column indices per CampaignReport::ROW_HEADERS: 8 = agreement
+        // verdict, 12 = expectation match.
+        for row in &table.rows {
+            assert_eq!(row[12], "yes", "verdicts must match expectations: {row:?}");
+            let is_control = row[0].starts_with("ctl-equivocate");
+            assert_eq!(
+                row[8] == "VIOLATED",
+                is_control,
+                "agreement must be violated exactly on the control: {row:?}"
+            );
+        }
+        assert!(table
+            .rows
+            .iter()
+            .any(|row| row[0].starts_with("ctl-equivocate")));
+        // The flooding-rule control (column 10 = F) is flagged too, with
+        // agreement intact.
+        let flood_control = table
+            .rows
+            .iter()
+            .find(|row| row[0].starts_with("ctl-flood"))
+            .expect("the flooding control runs");
+        assert_eq!(flood_control[10], "VIOLATED");
+        assert_eq!(flood_control[8], "holds");
     }
 
     #[test]

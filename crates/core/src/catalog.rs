@@ -1,0 +1,170 @@
+//! The protocol **catalog**: registry hooks naming this crate's protocol
+//! families as data.
+//!
+//! The scenario subsystem (`mpca-scenario`) enumerates protocols, builds
+//! their parties through the constructors in this crate, and checks executed
+//! sessions against the paper's communication budgets. The catalog is the
+//! bridge: a [`ProtocolKind`] names a family, maps it to its paper
+//! statement, and computes the **budget envelope** its honest communication
+//! must stay inside — the quantitative half of the security-property oracle.
+//!
+//! Budgets are the paper's asymptotic bounds instantiated with constants
+//! calibrated against the measured sweeps (`E1`–`E5` in
+//! `BENCH_results.json`), with roughly an order of magnitude of headroom:
+//! the oracle's job is to catch asymptotic regressions and accounting bugs
+//! (charging adversarial junk, double-charging relays), not to re-prove the
+//! constants.
+
+use crate::params::ProtocolParams;
+
+/// A protocol family of this crate, as a first-class enumerable value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolKind {
+    /// Theorem 1 / Algorithm 3: committee-based MPC with abort,
+    /// `Õ(n²/h)` bits (module [`mpc`](crate::mpc)).
+    Theorem1Mpc,
+    /// Theorem 2 / Theorem 18: sparse-gossip MPC with abort, `Õ(n³/h)` bits
+    /// and locality `Õ(n/h)` (module [`local_mpc`](crate::local_mpc)).
+    Theorem2LocalMpc,
+    /// Theorem 4 / Algorithm 8: the communication–locality trade-off,
+    /// `Õ(n³/h^{3/2})` bits (module [`tradeoff`](crate::tradeoff)).
+    Theorem4Tradeoff,
+    /// §2.1: single-source broadcast with abort (module
+    /// [`broadcast`](crate::broadcast)).
+    Broadcast,
+    /// §2.1 / Remark 8: succinct all-to-all broadcast with abort (module
+    /// [`all_to_all`](crate::all_to_all)).
+    SuccinctAllToAll,
+    /// The deliberately verification-free sum (module
+    /// [`unchecked`](crate::unchecked)) — a **negative control**: it
+    /// violates agreement under equivocation, which is what the oracle must
+    /// detect.
+    UncheckedSum,
+}
+
+impl ProtocolKind {
+    /// Every protocol family in the catalog.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::Theorem1Mpc,
+        ProtocolKind::Theorem2LocalMpc,
+        ProtocolKind::Theorem4Tradeoff,
+        ProtocolKind::Broadcast,
+        ProtocolKind::SuccinctAllToAll,
+        ProtocolKind::UncheckedSum,
+    ];
+
+    /// Short stable identifier (used in scenario labels and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Theorem1Mpc => "thm1-mpc",
+            ProtocolKind::Theorem2LocalMpc => "thm2-local-mpc",
+            ProtocolKind::Theorem4Tradeoff => "thm4-tradeoff",
+            ProtocolKind::Broadcast => "broadcast",
+            ProtocolKind::SuccinctAllToAll => "all-to-all",
+            ProtocolKind::UncheckedSum => "unchecked-sum",
+        }
+    }
+
+    /// The paper statement the family implements.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            ProtocolKind::Theorem1Mpc => "Theorem 1 / Algorithm 3",
+            ProtocolKind::Theorem2LocalMpc => "Theorem 2 / Theorem 18",
+            ProtocolKind::Theorem4Tradeoff => "Theorem 4 / Algorithm 8",
+            ProtocolKind::Broadcast => "§2.1 (broadcast with abort)",
+            ProtocolKind::SuccinctAllToAll => "§2.1 / Remark 8",
+            ProtocolKind::UncheckedSum => "— (negative control)",
+        }
+    }
+
+    /// `true` when the family detects equivocation and answers with abort.
+    ///
+    /// Every paper protocol does; the [`UncheckedSum`](Self::UncheckedSum)
+    /// negative control deliberately does not, so the oracle has a scenario
+    /// it must flag.
+    pub fn detects_equivocation(self) -> bool {
+        !matches!(self, ProtocolKind::UncheckedSum)
+    }
+
+    /// The honest-communication **budget envelope** in bits for an execution
+    /// at `params` with per-party payloads of `payload_bytes` bytes (the
+    /// input length ℓ for MPC and all-to-all, the message length for
+    /// broadcast).
+    ///
+    /// Instantiates the theorem's bound for the family with a constant
+    /// calibrated against the measured sweeps (see module docs); honest
+    /// executions must land well inside it, and an execution outside it
+    /// means an asymptotic or accounting regression.
+    pub fn comm_budget_bits(self, params: &ProtocolParams, payload_bytes: usize) -> u64 {
+        let (n, h) = (params.n as u64, params.h as u64);
+        let ell = payload_bytes as u64;
+        match self {
+            // Measured: bits·h/n² ≤ ~60k over the E1 grid.
+            ProtocolKind::Theorem1Mpc => 512_000 * n * n / h,
+            // Measured: bits·h/n³ ≤ ~51k over the E2 grid.
+            ProtocolKind::Theorem2LocalMpc => 512_000 * n * n * n / h,
+            // Measured: bits·h^{3/2}/n³ ≤ ~87k over the E3 grid.
+            ProtocolKind::Theorem4Tradeoff => {
+                let h_sqrt = (params.h as f64).sqrt();
+                (768_000.0 * (params.n as f64).powi(3) / (params.h as f64 * h_sqrt)) as u64
+            }
+            // O(n·ℓ + n²·ℓ): the echo phase re-sends the message n² times.
+            ProtocolKind::Broadcast => 64 * n * n * (ell + 16),
+            // Õ(n²·(ℓ + λ)): measured ~585 bits per ordered pair at ℓ = 64.
+            ProtocolKind::SuccinctAllToAll => 64 * n * n * (ell + 64),
+            // n² messages of ⌈ℓ⌉ + header bytes.
+            ProtocolKind::UncheckedSum => 64 * n * n * (ell + 16),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: std::collections::BTreeSet<&str> =
+            ProtocolKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ProtocolKind::ALL.len());
+        assert_eq!(ProtocolKind::Theorem1Mpc.to_string(), "thm1-mpc");
+        assert!(ProtocolKind::Theorem1Mpc.paper_ref().contains("Theorem 1"));
+    }
+
+    #[test]
+    fn only_the_negative_control_skips_equivocation_detection() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(
+                kind.detects_equivocation(),
+                kind != ProtocolKind::UncheckedSum
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_track_the_theorem_shapes() {
+        let loose = ProtocolParams::new(64, 8);
+        let tight = ProtocolParams::new(64, 32);
+        // More honest parties → smaller budget for every h-dependent family.
+        for kind in [
+            ProtocolKind::Theorem1Mpc,
+            ProtocolKind::Theorem2LocalMpc,
+            ProtocolKind::Theorem4Tradeoff,
+        ] {
+            assert!(kind.comm_budget_bits(&loose, 2) > kind.comm_budget_bits(&tight, 2));
+        }
+        // Budgets cover the measured E1/E2/E3 envelopes with headroom.
+        let e1 = ProtocolParams::new(64, 8);
+        assert!(ProtocolKind::Theorem1Mpc.comm_budget_bits(&e1, 2) > 30_553_088);
+        let e2 = ProtocolParams::new(96, 48);
+        assert!(ProtocolKind::Theorem2LocalMpc.comm_budget_bits(&e2, 2) > 939_665_664);
+        let e3 = ProtocolParams::new(64, 48);
+        assert!(ProtocolKind::Theorem4Tradeoff.comm_budget_bits(&e3, 2) > 68_627_744);
+    }
+}

@@ -18,6 +18,8 @@
 //! | [`local_committee`] | Algorithm 7 / Claim 22 | local committee election |
 //! | [`tradeoff`] | Algorithm 8 / Theorem 4 / 19 | `Õ(n³/h^{3/2})` bits, locality `Õ(n/√h)` |
 //! | [`lower_bound`] | Theorem 3 / Appendix A | the isolation attack behind the `Ω(n²/h)` bound |
+//! | [`catalog`] | — | protocol registry hooks: [`ProtocolKind`] + paper comm budgets |
+//! | [`unchecked`] | — | verification-free sum (negative control for the scenario oracle) |
 //!
 //! All protocols share [`params::ProtocolParams`] (the `(n, h, λ, α)`
 //! parameters and derived quantities) and the execution-path choice in
@@ -32,6 +34,7 @@
 
 pub mod all_to_all;
 pub mod broadcast;
+pub mod catalog;
 pub mod committee;
 pub mod equality;
 pub mod gossip;
@@ -43,5 +46,7 @@ pub mod multi_output;
 pub mod params;
 pub mod sparse;
 pub mod tradeoff;
+pub mod unchecked;
 
+pub use catalog::ProtocolKind;
 pub use params::{ExecutionPath, ProtocolParams};

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::time::Duration;
 
-use mpca_net::{CommStats, PartyId, PartyOutcome, RunResult};
+use mpca_net::{AbortReason, CommStats, PartyId, PartyOutcome, RunResult};
 
 /// A backend-independent digest of one honest party's terminal state.
 ///
@@ -47,6 +47,11 @@ pub struct SessionReport {
     pub label: String,
     /// Digest of every honest party's terminal state.
     pub outcomes: BTreeMap<PartyId, OutcomeDigest>,
+    /// The structured [`AbortReason`] of every honest party that aborted —
+    /// so callers (e.g. the `mpca-scenario` security oracle) can assert
+    /// *why* a session aborted, not just that it did. Part of equality: the
+    /// determinism contract covers abort reasons too.
+    pub abort_reasons: BTreeMap<PartyId, AbortReason>,
     /// Communication statistics of the execution.
     pub stats: CommStats,
     /// Rounds executed.
@@ -64,6 +69,7 @@ impl PartialEq for SessionReport {
     fn eq(&self, other: &Self) -> bool {
         self.label == other.label
             && self.outcomes == other.outcomes
+            && self.abort_reasons == other.abort_reasons
             && self.stats == other.stats
             && self.rounds == other.rounds
             && self.peak_inbox_bytes == other.peak_inbox_bytes
@@ -85,6 +91,14 @@ impl SessionReport {
                 .iter()
                 .map(|(id, outcome)| (*id, OutcomeDigest::from_outcome(outcome)))
                 .collect(),
+            abort_reasons: result
+                .outcomes
+                .iter()
+                .filter_map(|(id, outcome)| match outcome {
+                    PartyOutcome::Aborted(reason) => Some((*id, reason.clone())),
+                    PartyOutcome::Output(_) => None,
+                })
+                .collect(),
             stats: result.stats.clone(),
             rounds: result.rounds,
             peak_inbox_bytes: result.peak_inbox_bytes,
@@ -101,6 +115,11 @@ impl SessionReport {
     /// `true` if at least one honest party aborted.
     pub fn any_abort(&self) -> bool {
         self.outcomes.values().any(OutcomeDigest::is_abort)
+    }
+
+    /// The structured abort reason of `party`, if it aborted.
+    pub fn abort_reason_of(&self, party: PartyId) -> Option<&AbortReason> {
+        self.abort_reasons.get(&party)
     }
 }
 
@@ -188,6 +207,7 @@ mod tests {
         SessionReport {
             label: label.into(),
             outcomes: [(PartyId(0), OutcomeDigest::Output("42".into()))].into(),
+            abort_reasons: BTreeMap::new(),
             stats,
             rounds,
             peak_inbox_bytes: 10,
@@ -238,5 +258,34 @@ mod tests {
         let mut divergent = report("a", 2, 5);
         divergent.peak_inbox_bytes += 1;
         assert_ne!(report("a", 2, 5), divergent);
+    }
+
+    #[test]
+    fn equality_covers_the_abort_reasons() {
+        let mut divergent = report("a", 2, 5);
+        divergent
+            .abort_reasons
+            .insert(PartyId(0), AbortReason::Malformed("junk".into()));
+        assert_ne!(report("a", 2, 5), divergent);
+    }
+
+    #[test]
+    fn from_result_records_structured_abort_reasons() {
+        let reason = AbortReason::OverReceipt("too much".into());
+        let result: RunResult<u32> = RunResult {
+            outcomes: [
+                (PartyId(0), PartyOutcome::Output(9)),
+                (PartyId(1), PartyOutcome::Aborted(reason.clone())),
+            ]
+            .into(),
+            stats: CommStats::new(),
+            rounds: 1,
+            peak_inbox_bytes: 0,
+            peak_inbox_envelopes: 0,
+        };
+        let report = SessionReport::from_result("r", &result, Duration::ZERO);
+        assert_eq!(report.abort_reason_of(PartyId(1)), Some(&reason));
+        assert_eq!(report.abort_reason_of(PartyId(0)), None);
+        assert_eq!(report.abort_reasons.len(), 1);
     }
 }

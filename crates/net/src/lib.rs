@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod combinators;
 pub mod crs;
 pub mod envelope;
 pub mod error;
@@ -45,6 +46,10 @@ pub mod stats;
 
 pub use adversary::{
     Adversary, AdversaryCtx, FloodAdversary, NoAdversary, ProxyAdversary, SilentAdversary,
+};
+pub use combinators::{
+    sample_corruption, AbortAt, Compose, Equivocate, FloodBudget, TriggerPredicate, TriggerWhen,
+    Withhold,
 };
 pub use crs::CommonRandomString;
 pub use envelope::Envelope;

@@ -1,0 +1,116 @@
+//! The campaign CLI: run an adversarial-scenario campaign through the
+//! session pool and render the oracle's verdicts.
+//!
+//! Usage:
+//!   cargo run -p mpca-scenario --release --bin campaign                 # standard campaign
+//!   cargo run -p mpca-scenario --release --bin campaign -- --tiny      # CI smoke plan (n ≤ 8)
+//!   cargo run -p mpca-scenario --release --bin campaign -- --seed 7 --workers 4 --backend parallel
+//!   cargo run -p mpca-scenario --release --bin campaign -- --list
+//!
+//! Exit status is non-zero when any scenario's verdicts do not match its
+//! expectation — for the tiny plan (no controls) that means *any* oracle
+//! verdict of `Violated` fails the run, which is what the CI smoke step
+//! relies on.
+
+use mpca_engine::{Parallel, Sequential};
+use mpca_scenario::{standard_campaign, tiny_campaign, Campaign, CampaignReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--tiny] [--seed N] [--workers N] [--backend sequential|parallel] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut Vec<String>, pos: usize) -> T {
+    args.remove(pos);
+    if pos >= args.len() {
+        usage();
+    }
+    args.remove(pos).parse().unwrap_or_else(|_| usage())
+}
+
+fn run_campaign(campaign: &Campaign, backend: &str, workers: usize) -> CampaignReport {
+    let result = match backend {
+        "sequential" => campaign.run(Sequential, workers),
+        "parallel" => campaign.run(Parallel::default(), workers),
+        _ => usage(),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("campaign failed to execute: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    let tiny = if let Some(pos) = args.iter().position(|a| a == "--tiny") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let seed: u64 = match args.iter().position(|a| a == "--seed") {
+        Some(pos) => parse(&mut args, pos),
+        None => 0,
+    };
+    let workers: usize = match args.iter().position(|a| a == "--workers") {
+        Some(pos) => parse(&mut args, pos),
+        None => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2),
+    };
+    let backend: String = match args.iter().position(|a| a == "--backend") {
+        Some(pos) => parse(&mut args, pos),
+        None => "sequential".into(),
+    };
+    let list = if let Some(pos) = args.iter().position(|a| a == "--list") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    if !args.is_empty() {
+        usage();
+    }
+
+    let campaign = if tiny {
+        tiny_campaign(seed)
+    } else {
+        standard_campaign(seed)
+    };
+
+    if list {
+        for scenario in campaign.scenarios() {
+            println!("{}", scenario.label);
+        }
+        return;
+    }
+
+    eprintln!(
+        "running campaign '{}' ({} scenarios, {workers} workers, {backend} backend, seed {seed})",
+        campaign.name,
+        campaign.scenarios().len()
+    );
+    let report = run_campaign(&campaign, &backend, workers);
+    println!("{}", report.render());
+    println!("{}", report.summary());
+
+    if !report.all_as_expected() {
+        for outcome in report.unexpected() {
+            eprintln!(
+                "UNEXPECTED verdicts for {} ({}): {}",
+                outcome.scenario.label,
+                outcome.verdict_letters(),
+                outcome
+                    .checks
+                    .iter()
+                    .map(|c| format!("{}: {}", c.property.name(), c.details))
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            );
+        }
+        std::process::exit(1);
+    }
+}

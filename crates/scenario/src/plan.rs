@@ -1,0 +1,532 @@
+//! Scenario plans and campaigns: adversarial executions as data.
+//!
+//! A [`ScenarioPlan`] names one protocol family, one adversary class, an
+//! `(n, h)` grid and a seed; [`ScenarioPlan::scenarios`] expands it into
+//! concrete [`Scenario`]s (one per grid point). A [`Campaign`] is a list of
+//! plans that compiles into a single [`SessionPool`](mpca_engine::SessionPool)
+//! batch — hundreds of adversarial sessions riding the engine's parallel
+//! backends deterministically — whose reports the security-property oracle
+//! turns into a [`CampaignReport`](crate::CampaignReport).
+
+use std::collections::BTreeSet;
+
+use mpca_core::{ExecutionPath, ProtocolKind, ProtocolParams};
+use mpca_crypto::lwe::LweParams;
+use mpca_engine::{ExecutionBackend, SessionPool};
+use mpca_net::{NetError, PartyId};
+
+use crate::oracle;
+use crate::registry;
+use crate::report::CampaignReport;
+use crate::spec::{AdversarySpec, CorruptionSpec, TriggerSpec};
+
+/// What the oracle is expected to conclude about a scenario.
+///
+/// Campaigns include deliberately rigged **control** scenarios (a protocol
+/// without equivocation detection under an equivocating adversary); the
+/// oracle must flag those, and a campaign only passes when every verdict
+/// matches its expectation — so the oracle itself is under test in every
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every security property must hold.
+    Holds,
+    /// The agreement property must be **violated** (negative control).
+    ViolatesAgreement,
+    /// The flooding-rule property must be **violated** (negative control:
+    /// only expressible by a scenario that deliberately charges adversary
+    /// bytes via [`ScenarioPlan::charging_adversary_bytes`]).
+    ViolatesFloodingRule,
+}
+
+/// A declarative plan: one protocol, one adversary class, an `(n, h)` grid.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    /// Plan name (prefix of every scenario label).
+    pub name: String,
+    /// Which protocol family runs.
+    pub kind: ProtocolKind,
+    /// The `(n, h)` grid points; one scenario per point.
+    pub grid: Vec<(usize, usize)>,
+    /// Execution path for the MPC families (ignored by the rest).
+    pub path: ExecutionPath,
+    /// The adversary class.
+    pub adversary: AdversarySpec,
+    /// Seed for corruption sampling, inputs and CRS labels.
+    pub seed: u64,
+    /// Charge adversary bytes to `CommStats` (default `false`, the paper's
+    /// measure). Flipping it on deliberately breaks the flooding rule —
+    /// that's how the flooding predicate gets its negative control.
+    pub charge_adversary_bytes: bool,
+    /// What the oracle must conclude.
+    pub expectation: Expectation,
+}
+
+impl ScenarioPlan {
+    /// A plan with the given name, protocol and adversary; defaults:
+    /// empty grid, `Concrete` path, seed 0, expectation [`Expectation::Holds`].
+    pub fn new(name: impl Into<String>, kind: ProtocolKind, adversary: AdversarySpec) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            grid: Vec::new(),
+            path: ExecutionPath::Concrete,
+            adversary,
+            seed: 0,
+            charge_adversary_bytes: false,
+            expectation: Expectation::Holds,
+        }
+    }
+
+    /// Sets the `(n, h)` grid.
+    pub fn with_grid(mut self, grid: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.grid = grid.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the execution path.
+    pub fn with_path(mut self, path: ExecutionPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Sets the oracle expectation.
+    pub fn expecting(mut self, expectation: Expectation) -> Self {
+        self.expectation = expectation;
+        self
+    }
+
+    /// Charges adversary bytes to `CommStats` — a deliberate violation of
+    /// the paper's flooding rule, used for flooding-predicate controls.
+    pub fn charging_adversary_bytes(mut self) -> Self {
+        self.charge_adversary_bytes = true;
+        self
+    }
+
+    /// Expands the plan into one concrete scenario per grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a grid point corrupts more than `n - h` parties (the
+    /// honest-majority bookkeeping would be inconsistent) or `h > n`.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.grid
+            .iter()
+            .map(|&(n, h)| {
+                assert!(h <= n, "grid point ({n}, {h}) has h > n");
+                let scenario = Scenario {
+                    label: format!("{}-{}-n{n}-h{h}", self.name, self.adversary.name()),
+                    kind: self.kind,
+                    n,
+                    h,
+                    path: self.path,
+                    adversary: self.adversary.clone(),
+                    seed: self.seed,
+                    charge_adversary_bytes: self.charge_adversary_bytes,
+                    expectation: self.expectation,
+                };
+                let corrupted = scenario.corrupted().len();
+                assert!(
+                    corrupted <= n - h,
+                    "scenario {} corrupts {corrupted} parties but guarantees h = {h} of n = {n}",
+                    scenario.label
+                );
+                scenario
+            })
+            .collect()
+    }
+}
+
+/// One concrete adversarial execution: a grid point of a [`ScenarioPlan`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique label (also the session label in the pool batch).
+    pub label: String,
+    /// Protocol family.
+    pub kind: ProtocolKind,
+    /// Total parties.
+    pub n: usize,
+    /// Guaranteed honest parties.
+    pub h: usize,
+    /// Execution path for the MPC families.
+    pub path: ExecutionPath,
+    /// The adversary class.
+    pub adversary: AdversarySpec,
+    /// Seed for corruption sampling, inputs and CRS labels.
+    pub seed: u64,
+    /// Charge adversary bytes to `CommStats` (flooding-rule control knob).
+    pub charge_adversary_bytes: bool,
+    /// What the oracle must conclude.
+    pub expectation: Expectation,
+}
+
+impl Scenario {
+    /// The concrete corruption set (deterministic in the scenario).
+    pub fn corrupted(&self) -> BTreeSet<PartyId> {
+        self.adversary
+            .resolve_corrupted(self.n, self.seed, &self.label)
+    }
+
+    /// The protocol parameters of this scenario (toy LWE with a 16-bit
+    /// plaintext modulus, matching the experiment harness).
+    pub fn params(&self) -> ProtocolParams {
+        ProtocolParams::new(self.n, self.h).with_lwe(LweParams {
+            plaintext_modulus: 1 << 16,
+            ..LweParams::toy()
+        })
+    }
+
+    /// The per-party payload length ℓ in bytes the scenario's workload uses
+    /// (feeds the [`comm_budget_bits`](ProtocolKind::comm_budget_bits)
+    /// check).
+    pub fn payload_bytes(&self) -> usize {
+        match self.kind {
+            ProtocolKind::Theorem1Mpc
+            | ProtocolKind::Theorem2LocalMpc
+            | ProtocolKind::Theorem4Tradeoff => 2,
+            ProtocolKind::Broadcast | ProtocolKind::SuccinctAllToAll => {
+                registry::SCENARIO_MESSAGE_BYTES
+            }
+            ProtocolKind::UncheckedSum => 8,
+        }
+    }
+}
+
+/// A named list of plans that runs as one pooled batch.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign name (for reports).
+    pub name: String,
+    /// The plans; scenario order is plan order × grid order.
+    pub plans: Vec<ScenarioPlan>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// Appends a plan.
+    pub fn plan(mut self, plan: ScenarioPlan) -> Self {
+        self.plans.push(plan);
+        self
+    }
+
+    /// Every concrete scenario of the campaign, in submission order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.plans
+            .iter()
+            .flat_map(ScenarioPlan::scenarios)
+            .collect()
+    }
+
+    /// Compiles the campaign into one [`SessionPool`] batch on `backend`,
+    /// runs it across `workers` workers, and evaluates every session
+    /// against the security-property oracle.
+    ///
+    /// Deterministic end to end: scenario construction, execution (the
+    /// engine's backend-equivalence guarantee) and the oracle's verdicts are
+    /// all pure functions of the campaign and its seeds, whatever the
+    /// backend or worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first session-level [`NetError`] (invalid
+    /// configuration or round-limit overrun) — scenario campaigns treat a
+    /// non-terminating protocol as a harness bug, not a verdict.
+    pub fn run<B: ExecutionBackend>(
+        &self,
+        backend: B,
+        workers: usize,
+    ) -> Result<CampaignReport, NetError> {
+        let scenarios = self.scenarios();
+        let mut pool = SessionPool::new(backend).with_workers(workers);
+        for scenario in &scenarios {
+            registry::submit_scenario(&mut pool, scenario);
+        }
+        let batch = pool.run()?;
+        let outcomes = scenarios
+            .into_iter()
+            .zip(batch.sessions)
+            .map(|(scenario, report)| oracle::evaluate(scenario, report))
+            .collect();
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            outcomes,
+            wall: batch.wall,
+            workers: batch.workers,
+            backend: batch.backend,
+        })
+    }
+}
+
+/// The standard campaign: every protocol family in the catalog under
+/// honest, silent, crash-at-round, withholding, equivocating, flooding and
+/// triggered adversaries — including the rigged negative controls the
+/// oracle must flag (an equivocated verification-free sum expecting
+/// [`Expectation::ViolatesAgreement`], and a charged flood expecting
+/// [`Expectation::ViolatesFloodingRule`]).
+///
+/// ≥ 12 distinct (protocol × adversary × `(n, h)`) scenarios; used by the
+/// `E15-scenario-campaign` experiment and the campaign CLI.
+pub fn standard_campaign(seed: u64) -> Campaign {
+    Campaign::new("standard")
+        // Theorem 1 baselines: all-honest and transparent proxy.
+        .plan(
+            ScenarioPlan::new("t1", ProtocolKind::Theorem1Mpc, AdversarySpec::Honest)
+                .with_grid([(16, 8), (24, 12)])
+                .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "t1",
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::HonestProxy {
+                    corrupt: CorruptionSpec::Explicit(vec![0, 5]),
+                },
+            )
+            .with_grid([(16, 14)])
+            .with_seed(seed),
+        )
+        // Theorem 1 under seeded silent corruption.
+        .plan(
+            ScenarioPlan::new(
+                "t1",
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Seeded { count: 4 },
+                },
+            )
+            .with_grid([(16, 12), (24, 20)])
+            .with_seed(seed),
+        )
+        // Theorem 1: honest prefix then crash (the selective abort pattern).
+        .plan(
+            ScenarioPlan::new(
+                "t1",
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::AbortAt {
+                    corrupt: CorruptionSpec::Explicit(vec![0, 1]),
+                    round: 4,
+                },
+            )
+            .with_grid([(16, 14)])
+            .with_seed(seed),
+        )
+        // Theorem 1: selective withholding.
+        .plan(
+            ScenarioPlan::new(
+                "t1",
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::Withhold {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    recipients: vec![2, 3],
+                },
+            )
+            .with_grid([(16, 15)])
+            .with_seed(seed),
+        )
+        // Theorems 2 and 4 under corruption.
+        .plan(
+            ScenarioPlan::new(
+                "t2",
+                ProtocolKind::Theorem2LocalMpc,
+                AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Seeded { count: 3 },
+                },
+            )
+            .with_grid([(16, 13)])
+            .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "t4",
+                ProtocolKind::Theorem4Tradeoff,
+                AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Explicit(vec![0, 1]),
+                },
+            )
+            .with_grid([(16, 14)])
+            .with_seed(seed),
+        )
+        // Broadcast: honest, silent sender, equivocating sender.
+        .plan(
+            ScenarioPlan::new("bc", ProtocolKind::Broadcast, AdversarySpec::Honest)
+                .with_grid([(16, 16)])
+                .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "bc",
+                ProtocolKind::Broadcast,
+                AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                },
+            )
+            .with_grid([(12, 11)])
+            .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "bc",
+                ProtocolKind::Broadcast,
+                AdversarySpec::Equivocate {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    victims: vec![2, 3],
+                },
+            )
+            .with_grid([(12, 11)])
+            .with_seed(seed),
+        )
+        // All-to-all under a triggered flood: junk must never be charged.
+        .plan(
+            ScenarioPlan::new(
+                "a2a",
+                ProtocolKind::SuccinctAllToAll,
+                AdversarySpec::Triggered {
+                    base: Box::new(AdversarySpec::Flood {
+                        corrupt: CorruptionSpec::Explicit(vec![0]),
+                        victims: vec![],
+                        junk_bytes: 2048,
+                        round_budget: None,
+                    }),
+                    trigger: TriggerSpec::AtRound(1),
+                },
+            )
+            .with_grid([(10, 9)])
+            .with_seed(seed),
+        )
+        // Flooding-rule control: the same flood with adversary bytes
+        // deliberately charged to CommStats — the flooding predicate must
+        // flag it, proving the predicate can actually fail.
+        .plan(
+            ScenarioPlan::new(
+                "ctl",
+                ProtocolKind::SuccinctAllToAll,
+                AdversarySpec::Flood {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    victims: vec![],
+                    junk_bytes: 2048,
+                    round_budget: None,
+                },
+            )
+            .with_grid([(10, 9)])
+            .with_seed(seed)
+            .charging_adversary_bytes()
+            .expecting(Expectation::ViolatesFloodingRule),
+        )
+        // The negative control pair: the verification-free sum agrees when
+        // everyone is honest, and silently disagrees under equivocation —
+        // the oracle must flag exactly the latter.
+        .plan(
+            ScenarioPlan::new("ctl", ProtocolKind::UncheckedSum, AdversarySpec::Honest)
+                .with_grid([(12, 12)])
+                .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "ctl",
+                ProtocolKind::UncheckedSum,
+                AdversarySpec::Equivocate {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    victims: vec![1],
+                },
+            )
+            .with_grid([(12, 11)])
+            .with_seed(seed)
+            .expecting(Expectation::ViolatesAgreement),
+        )
+}
+
+/// A tiny campaign (2 scenarios, `n ≤ 8`, no controls) for CI smoke runs:
+/// every verdict must be `Holds`, so any violation fails the job.
+pub fn tiny_campaign(seed: u64) -> Campaign {
+    Campaign::new("tiny")
+        .plan(
+            ScenarioPlan::new("smoke", ProtocolKind::Broadcast, AdversarySpec::Honest)
+                .with_grid([(8, 8)])
+                .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "smoke",
+                ProtocolKind::UncheckedSum,
+                AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Explicit(vec![7]),
+                },
+            )
+            .with_grid([(8, 7)])
+            .with_seed(seed),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_expand_into_labelled_scenarios() {
+        let plan = ScenarioPlan::new("p", ProtocolKind::Broadcast, AdversarySpec::Honest)
+            .with_grid([(8, 8), (12, 12)])
+            .with_seed(3);
+        let scenarios = plan.scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].label, "p-honest-n8-h8");
+        assert_eq!(scenarios[1].label, "p-honest-n12-h12");
+        assert!(scenarios[0].corrupted().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupts")]
+    fn over_corruption_panics() {
+        ScenarioPlan::new(
+            "p",
+            ProtocolKind::Broadcast,
+            AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Seeded { count: 3 },
+            },
+        )
+        .with_grid([(8, 6)])
+        .scenarios();
+    }
+
+    #[test]
+    fn standard_campaign_is_big_and_has_a_control() {
+        let campaign = standard_campaign(0);
+        let scenarios = campaign.scenarios();
+        assert!(
+            scenarios.len() >= 12,
+            "standard campaign must cover >= 12 scenarios, got {}",
+            scenarios.len()
+        );
+        let labels: std::collections::BTreeSet<&str> =
+            scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels.len(), scenarios.len(), "labels must be unique");
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.expectation == Expectation::ViolatesAgreement),
+            "the campaign must carry a rigged control scenario"
+        );
+    }
+
+    #[test]
+    fn tiny_campaign_is_tiny_and_clean() {
+        let scenarios = tiny_campaign(1).scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert!(scenarios.iter().all(|s| s.n <= 8));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.expectation == Expectation::Holds));
+    }
+}

@@ -1,0 +1,256 @@
+//! Declarative adversary specifications.
+//!
+//! An [`AdversarySpec`] is pure data — `Clone`, comparable, printable — that
+//! names an adversary *class* instead of holding a live attack object. The
+//! registry compiles a spec into concrete
+//! [`mpca_net::Adversary`](mpca_net::Adversary) combinators when a scenario
+//! is submitted to the pool, which keeps plans serialisable-in-spirit and
+//! lets one spec run against every protocol in the catalog.
+
+use std::collections::BTreeSet;
+
+use mpca_net::{sample_corruption, PartyId};
+
+/// Which parties the adversary corrupts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorruptionSpec {
+    /// Nobody (paired with honest baselines).
+    None,
+    /// Exactly these party indices.
+    Explicit(Vec<usize>),
+    /// `count` parties sampled deterministically from the scenario seed and
+    /// label via [`sample_corruption`] — randomized sweeps stay reproducible.
+    Seeded {
+        /// Number of parties to corrupt.
+        count: usize,
+    },
+}
+
+impl CorruptionSpec {
+    /// Resolves the concrete corruption set for an `n`-party scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit index is out of range or a seeded count exceeds
+    /// `n`.
+    pub fn resolve(&self, n: usize, seed: u64, label: &str) -> BTreeSet<PartyId> {
+        match self {
+            CorruptionSpec::None => BTreeSet::new(),
+            CorruptionSpec::Explicit(indices) => indices
+                .iter()
+                .map(|&i| {
+                    assert!(i < n, "corrupted index {i} out of range for n = {n}");
+                    PartyId(i)
+                })
+                .collect(),
+            CorruptionSpec::Seeded { count } => {
+                sample_corruption(&[label.as_bytes(), &seed.to_le_bytes()].concat(), n, *count)
+            }
+        }
+    }
+
+    /// Number of parties this spec corrupts in an `n`-party network.
+    pub fn count(&self) -> usize {
+        match self {
+            CorruptionSpec::None => 0,
+            CorruptionSpec::Explicit(indices) => indices.len(),
+            CorruptionSpec::Seeded { count } => *count,
+        }
+    }
+}
+
+/// When a [`Triggered`](AdversarySpec::Triggered) adversary activates —
+/// compiled into a [`TriggerWhen`](mpca_net::TriggerWhen) predicate over the
+/// messages delivered to corrupted parties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriggerSpec {
+    /// Activates at the start of the given round.
+    AtRound(usize),
+    /// Activates once the corrupted parties have been delivered this many
+    /// payload bytes in total.
+    BytesDelivered(u64),
+    /// Activates when any corrupted party hears from this party index.
+    MessageFrom(usize),
+}
+
+impl TriggerSpec {
+    /// Short stable name fragment for labels.
+    pub fn name(&self) -> String {
+        match self {
+            TriggerSpec::AtRound(r) => format!("r{r}"),
+            TriggerSpec::BytesDelivered(b) => format!("b{b}"),
+            TriggerSpec::MessageFrom(p) => format!("from{p}"),
+        }
+    }
+}
+
+/// A declarative adversary class.
+///
+/// The proxy-based variants ([`HonestProxy`](Self::HonestProxy),
+/// [`AbortAt`](Self::AbortAt), [`Withhold`](Self::Withhold),
+/// [`Equivocate`](Self::Equivocate)) run the **honest protocol logic** for
+/// every corrupted party and transform its envelopes, so one spec applies to
+/// any protocol without re-implementing the attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// No corruption: the all-honest baseline.
+    Honest,
+    /// Corrupted parties run the honest logic unmodified (the transparent
+    /// baseline — the protocol must behave as if all-honest).
+    HonestProxy {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+    },
+    /// Corrupted parties never send anything (crash-style maliciousness).
+    Silent {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+    },
+    /// Corrupted parties flood victims with junk each round.
+    Flood {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+        /// Victim indices; empty means every non-corrupted party.
+        victims: Vec<usize>,
+        /// Junk bytes per flooded envelope.
+        junk_bytes: usize,
+        /// Stop flooding after this many rounds (`None` = never stop).
+        round_budget: Option<usize>,
+    },
+    /// Honest via proxy until the given round, then crash — the paper's
+    /// selective abort pattern.
+    AbortAt {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+        /// The round from which the corrupted parties go silent.
+        round: usize,
+    },
+    /// Honest via proxy, except messages to these recipients are dropped.
+    Withhold {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+        /// Recipient indices whose deliveries are withheld.
+        recipients: Vec<usize>,
+    },
+    /// Honest via proxy, except these victims receive tampered copies.
+    Equivocate {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+        /// Victim indices receiving tampered copies.
+        victims: Vec<usize>,
+    },
+    /// A base adversary that stays dormant until a trigger fires (adaptive
+    /// activation inside the static-corruption model).
+    Triggered {
+        /// The dormant behaviour.
+        base: Box<AdversarySpec>,
+        /// When it wakes up.
+        trigger: TriggerSpec,
+    },
+}
+
+impl AdversarySpec {
+    /// The corruption spec of this adversary.
+    pub fn corruption(&self) -> &CorruptionSpec {
+        match self {
+            AdversarySpec::Honest => &CorruptionSpec::None,
+            AdversarySpec::HonestProxy { corrupt }
+            | AdversarySpec::Silent { corrupt }
+            | AdversarySpec::Flood { corrupt, .. }
+            | AdversarySpec::AbortAt { corrupt, .. }
+            | AdversarySpec::Withhold { corrupt, .. }
+            | AdversarySpec::Equivocate { corrupt, .. } => corrupt,
+            AdversarySpec::Triggered { base, .. } => base.corruption(),
+        }
+    }
+
+    /// Resolves the concrete corruption set for an `n`-party scenario.
+    pub fn resolve_corrupted(&self, n: usize, seed: u64, label: &str) -> BTreeSet<PartyId> {
+        self.corruption().resolve(n, seed, label)
+    }
+
+    /// `true` when compiling this spec requires honest party logic for the
+    /// corrupted parties (the proxy-based variants).
+    pub fn needs_proxy_logic(&self) -> bool {
+        match self {
+            AdversarySpec::Honest | AdversarySpec::Silent { .. } | AdversarySpec::Flood { .. } => {
+                false
+            }
+            AdversarySpec::HonestProxy { .. }
+            | AdversarySpec::AbortAt { .. }
+            | AdversarySpec::Withhold { .. }
+            | AdversarySpec::Equivocate { .. } => true,
+            AdversarySpec::Triggered { base, .. } => base.needs_proxy_logic(),
+        }
+    }
+
+    /// Short stable name (used in scenario labels and report tables).
+    pub fn name(&self) -> String {
+        match self {
+            AdversarySpec::Honest => "honest".into(),
+            AdversarySpec::HonestProxy { .. } => "honest-proxy".into(),
+            AdversarySpec::Silent { .. } => "silent".into(),
+            AdversarySpec::Flood { .. } => "flood".into(),
+            AdversarySpec::AbortAt { round, .. } => format!("abort-at-{round}"),
+            AdversarySpec::Withhold { .. } => "withhold".into(),
+            AdversarySpec::Equivocate { .. } => "equivocate".into(),
+            AdversarySpec::Triggered { base, trigger } => {
+                format!("{}@{}", base.name(), trigger.name())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_specs_resolve_deterministically() {
+        assert!(CorruptionSpec::None.resolve(8, 1, "x").is_empty());
+        let explicit = CorruptionSpec::Explicit(vec![0, 3]).resolve(8, 1, "x");
+        assert_eq!(explicit, [PartyId(0), PartyId(3)].into());
+        let a = CorruptionSpec::Seeded { count: 3 }.resolve(12, 7, "plan");
+        let b = CorruptionSpec::Seeded { count: 3 }.resolve(12, 7, "plan");
+        let c = CorruptionSpec::Seeded { count: 3 }.resolve(12, 8, "plan");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_ne!(a, c, "a different seed should (whp) corrupt differently");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_panics() {
+        CorruptionSpec::Explicit(vec![9]).resolve(8, 0, "x");
+    }
+
+    #[test]
+    fn spec_names_and_proxy_requirements() {
+        let flood = AdversarySpec::Flood {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![],
+            junk_bytes: 64,
+            round_budget: None,
+        };
+        assert_eq!(flood.name(), "flood");
+        assert!(!flood.needs_proxy_logic());
+        assert_eq!(flood.corruption().count(), 1);
+
+        let triggered = AdversarySpec::Triggered {
+            base: Box::new(flood),
+            trigger: TriggerSpec::AtRound(3),
+        };
+        assert_eq!(triggered.name(), "flood@r3");
+        assert!(!triggered.needs_proxy_logic());
+
+        let abort = AdversarySpec::AbortAt {
+            corrupt: CorruptionSpec::Seeded { count: 2 },
+            round: 4,
+        };
+        assert_eq!(abort.name(), "abort-at-4");
+        assert!(abort.needs_proxy_logic());
+        assert!(AdversarySpec::Honest
+            .resolve_corrupted(6, 0, "l")
+            .is_empty());
+    }
+}

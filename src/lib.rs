@@ -19,7 +19,11 @@
 //!   baselines, and the Theorem 3 lower-bound attack),
 //! * [`engine`] — the batch-execution runtime: sequential/parallel
 //!   round-stepping backends and a [`SessionPool`](engine::SessionPool) for
-//!   running fleets of sessions concurrently with deterministic results.
+//!   running fleets of sessions concurrently with deterministic results,
+//! * [`scenario`] — declarative adversarial scenarios: adversary classes as
+//!   data ([`AdversarySpec`](scenario::AdversarySpec)), campaign plans that
+//!   compile into pooled batches, and a security-property oracle checking
+//!   every execution against the paper's predicates.
 //!
 //! ## Quickstart
 //!
@@ -56,4 +60,5 @@ pub use mpca_crypto as crypto;
 pub use mpca_encfunc as encfunc;
 pub use mpca_engine as engine;
 pub use mpca_net as net;
+pub use mpca_scenario as scenario;
 pub use mpca_wire as wire;

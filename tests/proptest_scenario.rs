@@ -1,0 +1,90 @@
+//! Property tests for scenario determinism: the same `ScenarioPlan` and
+//! seed must yield byte-identical `CommStats` and oracle verdicts whether
+//! the campaign runs on the `Sequential` or the `Parallel` backend, at any
+//! worker count — the scenario subsystem inherits (and must not break) the
+//! engine's determinism guarantee.
+
+use proptest::prelude::*;
+
+use mpc_aborts::engine::{Parallel, Sequential};
+use mpc_aborts::protocols::ProtocolKind;
+use mpc_aborts::scenario::{
+    AdversarySpec, Campaign, CampaignReport, CorruptionSpec, ScenarioPlan, TriggerSpec,
+};
+
+/// A small mixed campaign exercising seeded corruption, proxy-based
+/// combinators and a triggered flood, parameterised by seed.
+fn mixed_campaign(seed: u64) -> Campaign {
+    Campaign::new("prop")
+        .plan(
+            ScenarioPlan::new(
+                "bc",
+                ProtocolKind::Broadcast,
+                AdversarySpec::Equivocate {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    victims: vec![2],
+                },
+            )
+            .with_grid([(8, 7)])
+            .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "sum",
+                ProtocolKind::UncheckedSum,
+                AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Seeded { count: 2 },
+                },
+            )
+            .with_grid([(9, 7)])
+            .with_seed(seed),
+        )
+        .plan(
+            ScenarioPlan::new(
+                "a2a",
+                ProtocolKind::SuccinctAllToAll,
+                AdversarySpec::Triggered {
+                    base: Box::new(AdversarySpec::Flood {
+                        corrupt: CorruptionSpec::Explicit(vec![1]),
+                        victims: vec![],
+                        junk_bytes: 512,
+                        round_budget: Some(4),
+                    }),
+                    trigger: TriggerSpec::AtRound(1),
+                },
+            )
+            .with_grid([(8, 7)])
+            .with_seed(seed),
+        )
+}
+
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.verdict_digest(), b.verdict_digest());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        // SessionReport equality covers outcomes, structured abort reasons,
+        // the full CommStats and the inbox high-water marks.
+        assert_eq!(x.report, y.report, "scenario {}", x.scenario.label);
+        assert_eq!(x.checks, y.checks, "scenario {}", x.scenario.label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn campaign_is_deterministic_across_backends(
+        seed in any::<u64>(),
+        workers in 1usize..5,
+        threads in 2usize..5,
+    ) {
+        let campaign = mixed_campaign(seed);
+        let sequential = campaign.run(Sequential, 1).expect("sequential campaign");
+        let pooled_seq = campaign.run(Sequential, workers).expect("pooled sequential");
+        let parallel = campaign
+            .run(Parallel::with_threads(threads), workers)
+            .expect("parallel campaign");
+        assert_reports_identical(&sequential, &pooled_seq);
+        assert_reports_identical(&sequential, &parallel);
+    }
+}
