@@ -761,6 +761,134 @@ pub fn exp_scenario_campaign() -> Table {
     table
 }
 
+/// `E16-sweep` — campaign sweep mode at scale: `ProtocolKind::ALL` ×
+/// seeded adversary classes × the widened `(n, h)` grids, 150+ scenarios
+/// streamed through one `SessionPool` batch, every session judged by the
+/// security-property oracle against the **tightened golden-derived budget
+/// curves** (comm + locality; DESIGN.md §7). Rows aggregate per plan
+/// (protocol × adversary class); the TOTAL row records campaign wall-clock
+/// and per-scenario throughput, which is the cross-PR trajectory this
+/// experiment exists to track.
+pub fn exp_sweep() -> Table {
+    let mut table = Table::new(
+        "E16-sweep",
+        "Sweep campaign (every protocol x seeded adversary classes x widened (n, h) grid, one \
+         pooled batch): per-plan verdict aggregates, max budget utilisation vs the golden-derived \
+         envelopes, and campaign wall-clock + throughput in the TOTAL row.",
+        &[
+            "plan",
+            "protocol",
+            "adversary",
+            "scenarios",
+            "n range",
+            "rounds",
+            "honest bits",
+            "max budget util",
+            "verdicts",
+        ],
+    );
+    let campaign = mpca_scenario::sweep_campaign(0);
+    let report = campaign
+        .run(Sequential, 2)
+        .expect("sweep campaign executes");
+    assert!(
+        report.len() >= 100,
+        "acceptance requires >= 100 sweep scenarios, got {}",
+        report.len()
+    );
+    assert!(
+        report.all_as_expected(),
+        "every sweep verdict must match its expectation:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.violations().len(),
+        2,
+        "exactly the rigged controls are flagged"
+    );
+
+    // Aggregate outcomes per plan: scenarios share a plan exactly when they
+    // share a label prefix (plan name + adversary), i.e. everything before
+    // the grid suffix.
+    let plan_key =
+        |label: &str| -> String { label.split("-n").next().unwrap_or(label).to_string() };
+    let mut seen: Vec<String> = Vec::new();
+    for outcome in &report.outcomes {
+        let key = plan_key(&outcome.scenario.label);
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    for key in &seen {
+        let of_plan: Vec<_> = report
+            .outcomes
+            .iter()
+            .filter(|o| plan_key(&o.scenario.label) == *key)
+            .collect();
+        let first = of_plan[0];
+        let (n_min, n_max) = of_plan.iter().fold((usize::MAX, 0), |(lo, hi), o| {
+            (lo.min(o.scenario.n), hi.max(o.scenario.n))
+        });
+        let rounds: usize = of_plan.iter().map(|o| o.report.rounds).sum();
+        let bits: u64 = of_plan.iter().map(|o| o.honest_bits()).sum();
+        let max_util = of_plan
+            .iter()
+            .map(|o| {
+                let budget = o
+                    .scenario
+                    .kind
+                    .comm_budget_bits(&o.scenario.params(), o.scenario.payload_bytes());
+                o.honest_bits() as f64 / budget.max(1) as f64
+            })
+            .fold(0.0, f64::max);
+        let all_hold = of_plan.iter().all(|o| o.holds());
+        table.push_row(vec![
+            key.clone(),
+            first.scenario.kind.name().to_string(),
+            first.scenario.adversary.name(),
+            of_plan.len().to_string(),
+            if n_min == n_max {
+                n_min.to_string()
+            } else {
+                format!("{n_min}..{n_max}")
+            },
+            rounds.to_string(),
+            bits.to_string(),
+            format!("{:.0}%", max_util * 100.0),
+            if all_hold {
+                "all hold".into()
+            } else {
+                "flagged".into()
+            },
+        ]);
+    }
+    table.push_row(vec![
+        "TOTAL".into(),
+        String::new(),
+        String::new(),
+        report.len().to_string(),
+        String::new(),
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.report.rounds)
+            .sum::<usize>()
+            .to_string(),
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.honest_bits())
+            .sum::<u64>()
+            .to_string(),
+        format!("{:.0} ms wall", report.wall.as_secs_f64() * 1000.0),
+        format!(
+            "{:.1} scenarios/s",
+            report.len() as f64 / report.wall.as_secs_f64().max(1e-9)
+        ),
+    ]);
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -782,6 +910,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E13-engine-sweep", exp_engine_sweep),
         ("E14-message-plane", exp_message_plane),
         ("E15-scenario-campaign", exp_scenario_campaign),
+        ("E16-sweep", exp_sweep),
     ]
 }
 
@@ -830,7 +959,35 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 15);
+        assert_eq!(all_experiments().len(), 16);
+    }
+
+    #[test]
+    fn sweep_experiment_aggregates_and_passes() {
+        let _guard = serial();
+        let table = exp_sweep();
+        // One row per plan + TOTAL; every plan row's verdict column is
+        // either "all hold" or (for the two controls) "flagged".
+        let total = table.rows.last().expect("TOTAL row");
+        assert_eq!(total[0], "TOTAL");
+        assert!(total[3].parse::<usize>().unwrap() >= 100);
+        let flagged: Vec<_> = table.rows[..table.rows.len() - 1]
+            .iter()
+            .filter(|row| row[8] == "flagged")
+            .collect();
+        assert_eq!(flagged.len(), 2, "exactly the control plans are flagged");
+        assert!(flagged.iter().all(|row| row[0].starts_with("swpctl-")));
+        // Tight budgets: at least one plan runs above 25% utilisation, and
+        // none above 100% (which would be a Violated comm budget).
+        let utils: Vec<f64> = table.rows[..table.rows.len() - 1]
+            .iter()
+            .map(|row| row[7].trim_end_matches('%').parse::<f64>().unwrap())
+            .collect();
+        assert!(utils.iter().all(|&u| u <= 100.0));
+        assert!(
+            utils.iter().any(|&u| u >= 25.0),
+            "tightened envelopes should see real utilisation: {utils:?}"
+        );
     }
 
     #[test]
@@ -841,9 +998,9 @@ mod tests {
         // Every row matches its expectation, and exactly the rigged control
         // rows are flagged on agreement.
         // Column indices per CampaignReport::ROW_HEADERS: 8 = agreement
-        // verdict, 12 = expectation match.
+        // verdict, 13 = expectation match.
         for row in &table.rows {
-            assert_eq!(row[12], "yes", "verdicts must match expectations: {row:?}");
+            assert_eq!(row[13], "yes", "verdicts must match expectations: {row:?}");
             let is_control = row[0].starts_with("ctl-equivocate");
             assert_eq!(
                 row[8] == "VIOLATED",

@@ -1,4 +1,4 @@
-//! Single-source broadcast with abort (§2.1 of the paper, after [26]).
+//! Single-source broadcast with abort (§2.1 of the paper, after \[26\]).
 //!
 //! The sender sends its message to everyone; every party echoes what it
 //! received to everyone else; a party outputs the message only if all echoes

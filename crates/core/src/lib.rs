@@ -48,5 +48,5 @@ pub mod sparse;
 pub mod tradeoff;
 pub mod unchecked;
 
-pub use catalog::ProtocolKind;
+pub use catalog::{BudgetCurve, CalibrationPoint, ProtocolKind, BUDGET_SLACK};
 pub use params::{ExecutionPath, ProtocolParams};

@@ -11,12 +11,12 @@
 //!
 //! | Module | Primitive | Used by |
 //! |---|---|---|
-//! | [`sha256`] | SHA-256 | commitments, signatures, key derivation |
+//! | [`mod@sha256`] | SHA-256 | commitments, signatures, key derivation |
 //! | [`hmac`] | HMAC-SHA-256 | authenticated symmetric encryption |
 //! | [`chacha20`] | ChaCha20 stream cipher | PRG, symmetric encryption |
 //! | [`prg`] | seedable deterministic PRG | all protocol randomness, CRS |
 //! | [`primes`] | Miller–Rabin, random primes | Lemma 5 equality fingerprints |
-//! | [`fingerprint`] | string fingerprint mod a random prime | Algorithm 1 (`Equality_λ`) |
+//! | [`mod@fingerprint`] | string fingerprint mod a random prime | Algorithm 1 (`Equality_λ`) |
 //! | [`commit`] | hash commitments | committee transcripts |
 //! | [`lamport`] | Lamport one-time signatures | [`merkle_sig`] |
 //! | [`merkle`] | Merkle trees | [`merkle_sig`] |

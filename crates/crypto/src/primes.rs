@@ -3,7 +3,7 @@
 //! The succinct equality test of Lemma 5 samples a uniformly random prime
 //! `p ∈ [n^λ]` and compares the two strings modulo `p`. This module provides
 //! the deterministic Miller–Rabin test (exact for 64-bit integers) and the
-//! random prime sampler used by [`crate::fingerprint`].
+//! random prime sampler used by [`mod@crate::fingerprint`].
 
 use crate::prg::Prg;
 

@@ -3,18 +3,18 @@
 //! A batch-execution runtime that turns the one-shot [`mpca_net::Simulator`]
 //! into a multi-session fleet engine:
 //!
-//! * [`ExecutionBackend`](backend::ExecutionBackend) — how one session's
-//!   rounds are driven. [`Sequential`](backend::Sequential) reproduces the
+//! * [`ExecutionBackend`] — how one session's
+//!   rounds are driven. [`Sequential`] reproduces the
 //!   historical single-threaded behaviour bit-for-bit;
-//!   [`Parallel`](backend::Parallel) steps all honest parties of a round
+//!   [`Parallel`] steps all honest parties of a round
 //!   concurrently via `std::thread::scope`, merging envelopes and statistics
 //!   in deterministic party-id order so results are **identical** to
 //!   sequential execution.
-//! * [`SessionPool`](pool::SessionPool) — a scheduler running many
+//! * [`SessionPool`] — a scheduler running many
 //!   independent protocol sessions (mixed protocols, mixed `(n, h)`
 //!   parameters) across a bounded worker pool, with per-session
-//!   [`SessionReport`](report::SessionReport)s and batch throughput
-//!   telemetry ([`BatchReport`](report::BatchReport)).
+//!   [`SessionReport`]s and batch throughput
+//!   telemetry ([`BatchReport`]).
 //!
 //! ## Determinism guarantee
 //!
@@ -64,5 +64,5 @@ pub mod pool;
 pub mod report;
 
 pub use backend::{ExecutionBackend, Parallel, Sequential};
-pub use pool::SessionPool;
+pub use pool::{SessionPool, SessionProgress};
 pub use report::{BatchReport, OutcomeDigest, SessionReport};

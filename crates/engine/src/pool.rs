@@ -3,8 +3,9 @@
 
 use std::collections::VecDeque;
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mpca_net::{NetError, PartyLogic, PayloadAllocStats, Simulator};
 
@@ -17,6 +18,23 @@ struct PoolSession<B> {
     job: SessionJob<B>,
 }
 
+/// One completed-session notification delivered to a pool progress
+/// observer (see [`SessionPool::with_progress`]): enough to narrate a
+/// long-running campaign without waiting for the final [`BatchReport`].
+#[derive(Debug, Clone)]
+pub struct SessionProgress {
+    /// Sessions completed so far, including this one.
+    pub completed: usize,
+    /// Total sessions in the batch.
+    pub total: usize,
+    /// Label of the session that just finished.
+    pub label: String,
+    /// Wall-clock of that session (build + execution), when it succeeded.
+    pub wall: Option<Duration>,
+}
+
+type ProgressFn = Box<dyn Fn(SessionProgress) + Send + Sync>;
+
 /// Schedules many independent protocol sessions across a bounded worker
 /// pool, driving each with a shared [`ExecutionBackend`].
 ///
@@ -28,6 +46,7 @@ pub struct SessionPool<B: ExecutionBackend> {
     backend: B,
     workers: usize,
     sessions: Vec<PoolSession<B>>,
+    progress: Option<ProgressFn>,
 }
 
 impl<B: ExecutionBackend> SessionPool<B> {
@@ -39,12 +58,30 @@ impl<B: ExecutionBackend> SessionPool<B> {
                 .map(|p| p.get())
                 .unwrap_or(4),
             sessions: Vec::new(),
+            progress: None,
         }
     }
 
     /// Bounds the pool to `workers` concurrent sessions (at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a progress observer: called once per completed session, from
+    /// whichever worker thread finished it — invocations can run
+    /// concurrently, so the callback must be `Sync`. `completed` counts are
+    /// unique and cover `1..=total`, but **delivery order is not
+    /// guaranteed** with multiple workers (an observer can see `completed =
+    /// 2` before `1`); order-sensitive observers must sort or track a max
+    /// themselves. Long campaigns use this to narrate hundreds of sessions
+    /// while the batch is still running; completion order is
+    /// scheduling-dependent even though the final reports are not.
+    pub fn with_progress(
+        mut self,
+        observer: impl Fn(SessionProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(observer));
         self
     }
 
@@ -101,6 +138,8 @@ impl<B: ExecutionBackend> SessionPool<B> {
         let slots: Vec<Mutex<Option<Result<SessionReport, NetError>>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
 
+        let progress = self.progress.as_deref();
+        let completed = AtomicUsize::new(0);
         let start = Instant::now();
         let alloc_before = PayloadAllocStats::snapshot();
         std::thread::scope(|scope| {
@@ -111,6 +150,17 @@ impl<B: ExecutionBackend> SessionPool<B> {
                         break;
                     };
                     let outcome = (session.job)(backend);
+                    if let Some(observer) = progress {
+                        observer(SessionProgress {
+                            completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                            total,
+                            label: match &outcome {
+                                Ok(report) => report.label.clone(),
+                                Err(_) => format!("session #{index}"),
+                            },
+                            wall: outcome.as_ref().ok().map(|r| r.wall),
+                        });
+                    }
                     *slots[index].lock().expect("pool slot poisoned") = Some(outcome);
                 });
             }
@@ -234,6 +284,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pool_reports_progress_once_per_session() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let events = Arc::new(AtomicUsize::new(0));
+        let max_completed = Arc::new(AtomicUsize::new(0));
+        let (e, m) = (events.clone(), max_completed.clone());
+        let mut pool = SessionPool::new(Sequential).with_workers(3).with_progress(
+            move |p: SessionProgress| {
+                assert_eq!(p.total, 5);
+                assert!(p.completed >= 1 && p.completed <= 5);
+                assert!(p.wall.is_some(), "successful sessions carry a wall");
+                assert!(p.label.starts_with("sum-"));
+                e.fetch_add(1, Ordering::Relaxed);
+                m.fetch_max(p.completed, Ordering::Relaxed);
+            },
+        );
+        for (i, n) in [5usize, 3, 8, 4, 6].into_iter().enumerate() {
+            pool.submit(format!("sum-{i}"), move || sum_sim(n, i as u64));
+        }
+        pool.run().unwrap();
+        assert_eq!(events.load(Ordering::Relaxed), 5);
+        assert_eq!(max_completed.load(Ordering::Relaxed), 5);
     }
 
     #[test]

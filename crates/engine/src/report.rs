@@ -177,6 +177,29 @@ impl BatchReport {
         self.sessions.iter().find(|s| s.label == label)
     }
 
+    /// The `q`-quantile (`0.0 ..= 1.0`) of per-session wall-clock, by the
+    /// nearest-rank method — `0.5` is the median session, `1.0` the slowest.
+    /// Long-campaign telemetry: a p95 far above the median means a few
+    /// sessions (usually the largest `n`) dominate the batch.
+    pub fn wall_quantile(&self, q: f64) -> Duration {
+        if self.sessions.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut walls: Vec<Duration> = self.sessions.iter().map(|s| s.wall).collect();
+        walls.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0) * walls.len() as f64).ceil() as usize).max(1) - 1;
+        walls[rank.min(walls.len() - 1)]
+    }
+
+    /// The `k` slowest sessions, slowest first — the campaign-level answer
+    /// to "where did the wall-clock go".
+    pub fn slowest_sessions(&self, k: usize) -> Vec<&SessionReport> {
+        let mut by_wall: Vec<&SessionReport> = self.sessions.iter().collect();
+        by_wall.sort_by_key(|s| std::cmp::Reverse(s.wall));
+        by_wall.truncate(k);
+        by_wall
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -246,11 +269,46 @@ mod tests {
         assert_eq!(batch.total_rounds(), 5);
         assert_eq!(batch.total_bytes(), 20);
         assert_eq!(batch.peak_inbox_bytes(), 10);
+        assert_eq!(batch.wall_quantile(1.0), Duration::from_millis(1));
+        assert_eq!(batch.slowest_sessions(1).len(), 1);
         assert!(batch.sessions_per_sec() > 19.0 && batch.sessions_per_sec() < 21.0);
         assert!(batch.session("a").is_some());
         assert!(batch.session("zzz").is_none());
         assert!(batch.summary().contains("2 sessions"));
         assert!(batch.summary().contains("7 allocated"));
+    }
+
+    #[test]
+    fn wall_quantiles_rank_sessions() {
+        let batch = BatchReport {
+            sessions: vec![
+                report("a", 1, 10),
+                report("b", 1, 40),
+                report("c", 1, 20),
+                report("d", 1, 30),
+            ],
+            wall: Duration::from_millis(100),
+            workers: 2,
+            backend: "sequential",
+            allocated_payload_bytes: 0,
+        };
+        assert_eq!(batch.wall_quantile(0.5), Duration::from_millis(20));
+        assert_eq!(batch.wall_quantile(1.0), Duration::from_millis(40));
+        assert_eq!(batch.wall_quantile(0.0), Duration::from_millis(10));
+        let slowest: Vec<&str> = batch
+            .slowest_sessions(2)
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(slowest, vec!["b", "d"]);
+        let empty = BatchReport {
+            sessions: vec![],
+            wall: Duration::ZERO,
+            workers: 1,
+            backend: "sequential",
+            allocated_payload_bytes: 0,
+        };
+        assert_eq!(empty.wall_quantile(0.5), Duration::ZERO);
     }
 
     #[test]

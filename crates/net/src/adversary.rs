@@ -2,7 +2,7 @@
 //!
 //! The adversary corrupts a fixed set of parties before the protocol starts
 //! (static corruption). Corrupted parties are **not** executed by the honest
-//! [`PartyLogic`](crate::PartyLogic); instead, each round the adversary
+//! [`PartyLogic`]; instead, each round the adversary
 //! observes every envelope delivered to a corrupted party and may inject
 //! arbitrary envelopes originating from corrupted parties. This captures the
 //! full power of a malicious (Byzantine) adversary on authenticated

@@ -18,7 +18,7 @@
 //!   communicates with.
 //!
 //! The simulator reproduces exactly these quantities:
-//! [`CommStats`](stats::CommStats) tracks bytes sent and peers contacted per
+//! [`CommStats`] tracks bytes sent and peers contacted per
 //! party, and the experiment harness measures all-honest executions for the
 //! communication-complexity numbers (matching the paper's definition) and
 //! adversarial executions for the security experiments.

@@ -99,6 +99,20 @@ impl CommStats {
             .unwrap_or(0)
     }
 
+    /// The locality of `parties` counting only peers **inside** the set: the
+    /// maximum, over those parties, of the number of set members they
+    /// contacted. With the honest set this is the honest-to-honest locality
+    /// the `mpca-scenario` oracle budgets: contacts initiated *by* the
+    /// adversary (junk deliveries) can never inflate it, mirroring §3.1's
+    /// flooding rule for the locality measure.
+    pub fn max_locality_within(&self, parties: &BTreeSet<PartyId>) -> usize {
+        parties
+            .iter()
+            .map(|p| self.peers_of(*p).intersection(parties).count())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The locality over all parties that appear in the statistics.
     pub fn max_locality_all(&self) -> usize {
         let mut all: BTreeSet<PartyId> = self.sent_to.keys().copied().collect();
@@ -175,6 +189,11 @@ mod tests {
         assert_eq!(stats.max_locality(&set(&[0, 1, 2, 3])), 3);
         assert_eq!(stats.max_locality(&set(&[2, 3])), 1);
         assert_eq!(stats.max_locality_all(), 3);
+        // Within {1, 2, 3}, party 0's fan-out stops counting: each member
+        // only contacted party 0, which is outside the set.
+        assert_eq!(stats.max_locality_within(&set(&[1, 2, 3])), 0);
+        assert_eq!(stats.max_locality_within(&set(&[0, 1, 2, 3])), 3);
+        assert_eq!(stats.max_locality_within(&BTreeSet::new()), 0);
         assert!((stats.mean_locality(&set(&[0, 1, 2, 3])) - 1.5).abs() < 1e-9);
         assert_eq!(stats.mean_locality(&BTreeSet::new()), 0.0);
     }

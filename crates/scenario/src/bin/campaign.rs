@@ -4,20 +4,27 @@
 //! Usage:
 //!   cargo run -p mpca-scenario --release --bin campaign                 # standard campaign
 //!   cargo run -p mpca-scenario --release --bin campaign -- --tiny      # CI smoke plan (n ≤ 8)
+//!   cargo run -p mpca-scenario --release --bin campaign -- --sweep     # full cross-product sweep (150+ scenarios)
+//!   cargo run -p mpca-scenario --release --bin campaign -- --sweep --tiny   # sweep smoke plan (n ≤ 12)
 //!   cargo run -p mpca-scenario --release --bin campaign -- --seed 7 --workers 4 --backend parallel
 //!   cargo run -p mpca-scenario --release --bin campaign -- --list
 //!
 //! Exit status is non-zero when any scenario's verdicts do not match its
-//! expectation — for the tiny plan (no controls) that means *any* oracle
-//! verdict of `Violated` fails the run, which is what the CI smoke step
-//! relies on.
+//! expectation — for the tiny plans (no controls) that means *any* oracle
+//! verdict of `Violated` fails the run, which is what the CI smoke steps
+//! rely on. Sweep runs narrate progress to stderr while the pool drains.
 
-use mpca_engine::{Parallel, Sequential};
-use mpca_scenario::{standard_campaign, tiny_campaign, Campaign, CampaignReport};
+use std::time::Instant;
+
+use mpca_engine::{Parallel, Sequential, SessionProgress};
+use mpca_scenario::{
+    standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign, Campaign, CampaignReport,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [--tiny] [--seed N] [--workers N] [--backend sequential|parallel] [--list]"
+        "usage: campaign [--sweep] [--tiny] [--seed N] [--workers N] \
+         [--backend sequential|parallel] [--list]"
     );
     std::process::exit(2);
 }
@@ -30,10 +37,39 @@ fn parse<T: std::str::FromStr>(args: &mut Vec<String>, pos: usize) -> T {
     args.remove(pos).parse().unwrap_or_else(|_| usage())
 }
 
-fn run_campaign(campaign: &Campaign, backend: &str, workers: usize) -> CampaignReport {
-    let result = match backend {
-        "sequential" => campaign.run(Sequential, workers),
-        "parallel" => campaign.run(Parallel::default(), workers),
+/// A progress observer for long sweeps: one stderr line every `stride`
+/// completed sessions (and at the end), with batch throughput so far.
+fn narrate(total: usize) -> impl Fn(SessionProgress) + Send + Sync {
+    let stride = (total / 10).max(1);
+    let start = Instant::now();
+    move |progress: SessionProgress| {
+        if progress.completed.is_multiple_of(stride) || progress.completed == progress.total {
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "  [{}/{}] {:.1} scenarios/s (last: {})",
+                progress.completed,
+                progress.total,
+                progress.completed as f64 / elapsed,
+                progress.label,
+            );
+        }
+    }
+}
+
+fn run_campaign(
+    campaign: &Campaign,
+    backend: &str,
+    workers: usize,
+    progress: bool,
+) -> CampaignReport {
+    let total = campaign.scenarios().len();
+    let result = match (backend, progress) {
+        ("sequential", false) => campaign.run(Sequential, workers),
+        ("parallel", false) => campaign.run(Parallel::default(), workers),
+        ("sequential", true) => campaign.run_with_progress(Sequential, workers, narrate(total)),
+        ("parallel", true) => {
+            campaign.run_with_progress(Parallel::default(), workers, narrate(total))
+        }
         _ => usage(),
     };
     result.unwrap_or_else(|e| {
@@ -45,12 +81,17 @@ fn run_campaign(campaign: &Campaign, backend: &str, workers: usize) -> CampaignR
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
-    let tiny = if let Some(pos) = args.iter().position(|a| a == "--tiny") {
-        args.remove(pos);
-        true
-    } else {
-        false
+    let mut flag = |name: &str| {
+        if let Some(pos) = args.iter().position(|a| a == name) {
+            args.remove(pos);
+            true
+        } else {
+            false
+        }
     };
+    let tiny = flag("--tiny");
+    let sweep = flag("--sweep");
+    let list = flag("--list");
     let seed: u64 = match args.iter().position(|a| a == "--seed") {
         Some(pos) => parse(&mut args, pos),
         None => 0,
@@ -65,20 +106,15 @@ fn main() {
         Some(pos) => parse(&mut args, pos),
         None => "sequential".into(),
     };
-    let list = if let Some(pos) = args.iter().position(|a| a == "--list") {
-        args.remove(pos);
-        true
-    } else {
-        false
-    };
     if !args.is_empty() {
         usage();
     }
 
-    let campaign = if tiny {
-        tiny_campaign(seed)
-    } else {
-        standard_campaign(seed)
+    let campaign = match (sweep, tiny) {
+        (true, true) => tiny_sweep_campaign(seed),
+        (true, false) => sweep_campaign(seed),
+        (false, true) => tiny_campaign(seed),
+        (false, false) => standard_campaign(seed),
     };
 
     if list {
@@ -93,7 +129,7 @@ fn main() {
         campaign.name,
         campaign.scenarios().len()
     );
-    let report = run_campaign(&campaign, &backend, workers);
+    let report = run_campaign(&campaign, &backend, workers, sweep);
     println!("{}", report.render());
     println!("{}", report.summary());
 

@@ -18,7 +18,8 @@
 //!   [`ExecutionBackend`](mpca_engine::ExecutionBackend);
 //! * the [`oracle`] — evaluates every session against the paper's
 //!   predicates (agreement-or-abort §3.1, identified abort, the flooding
-//!   rule, theorem comm budgets) into per-scenario verdicts;
+//!   rule, golden-calibrated theorem comm budgets, and the Theorems 2/4
+//!   per-party locality budgets) into per-scenario verdicts;
 //! * [`CampaignReport`] — verdict tables, campaign pass/fail
 //!   ([`CampaignReport::all_as_expected`]), and a stable
 //!   [`verdict_digest`](CampaignReport::verdict_digest) the determinism
@@ -49,7 +50,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod oracle;
 pub mod plan;
@@ -57,7 +58,10 @@ pub mod registry;
 pub mod report;
 pub mod spec;
 
-pub use oracle::{Property, PropertyCheck, ScenarioOutcome, Verdict};
-pub use plan::{standard_campaign, tiny_campaign, Campaign, Expectation, Scenario, ScenarioPlan};
+pub use oracle::{Oracle, Property, PropertyCheck, ScenarioOutcome, Verdict};
+pub use plan::{
+    standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign, Campaign, Expectation,
+    Scenario, ScenarioPlan,
+};
 pub use report::CampaignReport;
 pub use spec::{AdversarySpec, CorruptionSpec, TriggerSpec};

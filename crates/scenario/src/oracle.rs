@@ -1,8 +1,8 @@
 //! The security-property oracle: every executed scenario is checked against
 //! the paper's guarantees.
 //!
-//! The oracle evaluates a pool [`SessionReport`] (outcome digests,
-//! structured abort reasons, `CommStats`) against four predicates drawn
+//! The [`Oracle`] evaluates a pool [`SessionReport`] (outcome digests,
+//! structured abort reasons, `CommStats`) against five predicates drawn
 //! from the paper's §3.1 model and theorem statements:
 //!
 //! 1. [`AgreementOrAbort`](Property::AgreementOrAbort) — no two honest
@@ -21,8 +21,16 @@
 //!    flooding rule: junk can force an abort but cannot inflate the
 //!    measured complexity).
 //! 4. [`CommBudget`](Property::CommBudget) — honest bits stay inside the
-//!    calibrated envelope of the protocol's theorem bound
-//!    ([`ProtocolKind::comm_budget_bits`](mpca_core::ProtocolKind::comm_budget_bits)).
+//!    golden-derived envelope curve of the protocol's theorem bound
+//!    ([`ProtocolKind::comm_budget_bits`](mpca_core::ProtocolKind::comm_budget_bits),
+//!    [`BUDGET_SLACK`](mpca_core::BUDGET_SLACK)× the measured honest sweeps
+//!    — see DESIGN.md §7).
+//! 5. [`LocalityBudget`](Property::LocalityBudget) — no honest party
+//!    contacts more honest peers than the family's locality promise allows
+//!    (Theorems 2/4 promise *per-party locality*, not just total bits;
+//!    [`ProtocolKind::locality_budget`](mpca_core::ProtocolKind::locality_budget)).
+//!    Locality is measured honest-to-honest, so adversarial junk deliveries
+//!    can no more inflate it than they can inflate charged bits.
 
 use std::collections::BTreeSet;
 
@@ -40,17 +48,21 @@ pub enum Property {
     IdentifiedAbort,
     /// Adversarial junk is never charged (§3.1 flooding rule).
     FloodingRule,
-    /// Honest bits within the theorem's calibrated budget.
+    /// Honest bits within the golden-derived envelope curve.
     CommBudget,
+    /// Honest-to-honest per-party locality within the family's promise
+    /// (Theorems 2/4).
+    LocalityBudget,
 }
 
 impl Property {
     /// All properties, in report order.
-    pub const ALL: [Property; 4] = [
+    pub const ALL: [Property; 5] = [
         Property::AgreementOrAbort,
         Property::IdentifiedAbort,
         Property::FloodingRule,
         Property::CommBudget,
+        Property::LocalityBudget,
     ];
 
     /// Short stable name.
@@ -60,6 +72,7 @@ impl Property {
             Property::IdentifiedAbort => "identified-abort",
             Property::FloodingRule => "flooding-rule",
             Property::CommBudget => "comm-budget",
+            Property::LocalityBudget => "locality-budget",
         }
     }
 }
@@ -146,7 +159,7 @@ impl ScenarioOutcome {
     }
 
     /// Compact verdict rendering, one letter per property in
-    /// [`Property::ALL`] order (e.g. `HHHH`, `VHHH`).
+    /// [`Property::ALL`] order (e.g. `HHHHH`, `VHHHH`).
     pub fn verdict_letters(&self) -> String {
         self.checks.iter().map(|c| c.verdict.letter()).collect()
     }
@@ -194,20 +207,77 @@ fn charged_honest_bits(report: &SessionReport) -> u64 {
     report.stats.bytes_sent_by(&honest) * 8
 }
 
-/// Evaluates one executed scenario against every security property.
-pub fn evaluate(scenario: Scenario, report: SessionReport) -> ScenarioOutcome {
-    let corrupted = scenario.corrupted();
+/// The security-property oracle: a stateless evaluator turning one executed
+/// scenario (its [`SessionReport`]) into per-property verdicts.
+///
+/// The campaign layer calls it on every session; it is equally usable
+/// standalone — hand it any report and it will judge it against the paper's
+/// predicates:
+///
+/// ```
+/// use mpca_core::ProtocolKind;
+/// use mpca_engine::{OutcomeDigest, SessionReport};
+/// use mpca_net::CommStats;
+/// use mpca_net::PartyId;
+/// use mpca_scenario::{AdversarySpec, Oracle, ScenarioPlan};
+/// use std::collections::BTreeMap;
+/// use std::time::Duration;
+///
+/// let scenario = ScenarioPlan::new("doc", ProtocolKind::UncheckedSum, AdversarySpec::Honest)
+///     .with_grid([(3, 3)])
+///     .scenarios()
+///     .remove(0);
+/// let report = SessionReport {
+///     label: scenario.label.clone(),
+///     outcomes: [
+///         (PartyId(0), OutcomeDigest::Output("[7]".into())),
+///         (PartyId(1), OutcomeDigest::Output("[7]".into())),
+///         (PartyId(2), OutcomeDigest::Output("[7]".into())),
+///     ]
+///     .into(),
+///     abort_reasons: BTreeMap::new(),
+///     stats: CommStats::new(),
+///     rounds: 2,
+///     peak_inbox_bytes: 0,
+///     peak_inbox_envelopes: 0,
+///     wall: Duration::ZERO,
+/// };
+/// let outcome = Oracle::new().evaluate(scenario, report);
+/// assert!(outcome.holds());
+/// assert_eq!(outcome.verdict_letters(), "HHHHH");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle;
 
-    let agreement = check_agreement(&report);
-    let identified = check_identified_abort(&report);
-    let flooding = check_flooding(&report, &corrupted);
-    let budget = check_budget(&scenario, &report);
-
-    ScenarioOutcome {
-        scenario,
-        report,
-        checks: vec![agreement, identified, flooding, budget],
+impl Oracle {
+    /// A new oracle.
+    pub fn new() -> Self {
+        Oracle
     }
+
+    /// Evaluates one executed scenario against every security property, in
+    /// [`Property::ALL`] order.
+    pub fn evaluate(&self, scenario: Scenario, report: SessionReport) -> ScenarioOutcome {
+        let corrupted = scenario.corrupted();
+
+        let agreement = check_agreement(&report);
+        let identified = check_identified_abort(&report);
+        let flooding = check_flooding(&report, &corrupted);
+        let budget = check_budget(&scenario, &report);
+        let locality = check_locality(&scenario, &report);
+
+        ScenarioOutcome {
+            scenario,
+            report,
+            checks: vec![agreement, identified, flooding, budget, locality],
+        }
+    }
+}
+
+/// Evaluates one executed scenario against every security property
+/// (the free-function form of [`Oracle::evaluate`]).
+pub fn evaluate(scenario: Scenario, report: SessionReport) -> ScenarioOutcome {
+    Oracle::new().evaluate(scenario, report)
 }
 
 fn check_agreement(report: &SessionReport) -> PropertyCheck {
@@ -314,6 +384,21 @@ fn check_budget(scenario: &Scenario, report: &SessionReport) -> PropertyCheck {
     }
 }
 
+fn check_locality(scenario: &Scenario, report: &SessionReport) -> PropertyCheck {
+    let honest: BTreeSet<PartyId> = report.outcomes.keys().copied().collect();
+    let locality = report.stats.max_locality_within(&honest);
+    let budget = scenario.kind.locality_budget(&scenario.params());
+    PropertyCheck {
+        property: Property::LocalityBudget,
+        verdict: if locality <= budget {
+            Verdict::Holds
+        } else {
+            Verdict::Violated
+        },
+        details: format!("honest-to-honest locality {locality} vs budget {budget}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,7 +452,7 @@ mod tests {
             ]),
         );
         assert!(outcome.holds(), "{:?}", outcome.checks);
-        assert_eq!(outcome.verdict_letters(), "HHHH");
+        assert_eq!(outcome.verdict_letters(), "HHHHH");
         assert!(outcome.as_expected());
     }
 
@@ -382,7 +467,7 @@ mod tests {
         );
         assert!(outcome.agreement_violated());
         assert!(!outcome.holds());
-        assert_eq!(outcome.verdict_letters(), "VHHH");
+        assert_eq!(outcome.verdict_letters(), "VHHHH");
         assert!(!outcome.as_expected(), "scenario expected Holds");
     }
 

@@ -3,10 +3,16 @@
 //! A [`ScenarioPlan`] names one protocol family, one adversary class, an
 //! `(n, h)` grid and a seed; [`ScenarioPlan::scenarios`] expands it into
 //! concrete [`Scenario`]s (one per grid point). A [`Campaign`] is a list of
-//! plans that compiles into a single [`SessionPool`](mpca_engine::SessionPool)
+//! plans that compiles into a single [`mpca_engine::SessionPool`]
 //! batch — hundreds of adversarial sessions riding the engine's parallel
 //! backends deterministically — whose reports the security-property oracle
-//! turns into a [`CampaignReport`](crate::CampaignReport).
+//! turns into a [`CampaignReport`].
+//!
+//! Four standing campaigns ship with the crate: [`standard_campaign`] (16
+//! scenarios, the per-attack regression suite), [`tiny_campaign`] (CI
+//! smoke), [`sweep_campaign`] (the full protocol × adversary × grid
+//! cross-product, 150+ scenarios, the `E16-sweep` experiment) and
+//! [`tiny_sweep_campaign`] (the sweep's `n ≤ 12` slice for CI).
 
 use std::collections::BTreeSet;
 
@@ -40,6 +46,31 @@ pub enum Expectation {
 }
 
 /// A declarative plan: one protocol, one adversary class, an `(n, h)` grid.
+///
+/// Expanding a plan is pure data-flow — no execution, no I/O — so plans are
+/// cheap to build, inspect and cross-product:
+///
+/// ```
+/// use mpca_core::ProtocolKind;
+/// use mpca_scenario::{AdversarySpec, CorruptionSpec, ScenarioPlan};
+///
+/// let plan = ScenarioPlan::new(
+///     "demo",
+///     ProtocolKind::Broadcast,
+///     AdversarySpec::Silent {
+///         corrupt: CorruptionSpec::Seeded { count: 1 },
+///     },
+/// )
+/// .with_grid([(8, 6), (12, 10)])
+/// .with_seed(7);
+///
+/// let scenarios = plan.scenarios();
+/// assert_eq!(scenarios.len(), 2, "one scenario per grid point");
+/// assert_eq!(scenarios[0].label, "demo-silent-n8-h6");
+/// // Seeded corruption resolves deterministically from (n, seed, label).
+/// assert_eq!(scenarios[0].corrupted().len(), 1);
+/// assert_eq!(scenarios[0].corrupted(), scenarios[0].corrupted());
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioPlan {
     /// Plan name (prefix of every scenario label).
@@ -249,8 +280,26 @@ impl Campaign {
         backend: B,
         workers: usize,
     ) -> Result<CampaignReport, NetError> {
+        self.run_with_progress(backend, workers, |_| {})
+    }
+
+    /// [`run`](Self::run) with a per-session progress observer (see
+    /// [`SessionPool::with_progress`]) — sweep-scale campaigns use it to
+    /// narrate hundreds of sessions while the batch executes.
+    pub fn run_with_progress<B, F>(
+        &self,
+        backend: B,
+        workers: usize,
+        progress: F,
+    ) -> Result<CampaignReport, NetError>
+    where
+        B: ExecutionBackend,
+        F: Fn(mpca_engine::SessionProgress) + Send + Sync + 'static,
+    {
         let scenarios = self.scenarios();
-        let mut pool = SessionPool::new(backend).with_workers(workers);
+        let mut pool = SessionPool::new(backend)
+            .with_workers(workers)
+            .with_progress(progress);
         for scenario in &scenarios {
             registry::submit_scenario(&mut pool, scenario);
         }
@@ -470,6 +519,151 @@ pub fn tiny_campaign(seed: u64) -> Campaign {
         )
 }
 
+/// The adversary classes the sweep cross-products against `kind`'s grid.
+///
+/// Classes are per-family: the proxy-based combinators apply to every
+/// family, floods target the protocols whose parsing tolerates junk from
+/// unexpected senders without leaving the model (abort is always fine), and
+/// equivocation stays on the families whose detection — or deliberate lack
+/// of it, for the rigged control — is the point of the scenario (extending
+/// tampering to the framed MPC transcripts is a ROADMAP item).
+fn sweep_adversaries(kind: ProtocolKind) -> Vec<AdversarySpec> {
+    let seeded = |count| CorruptionSpec::Seeded { count };
+    match kind {
+        ProtocolKind::Theorem1Mpc
+        | ProtocolKind::Theorem2LocalMpc
+        | ProtocolKind::Theorem4Tradeoff => vec![
+            AdversarySpec::Honest,
+            AdversarySpec::HonestProxy { corrupt: seeded(2) },
+            AdversarySpec::Silent { corrupt: seeded(2) },
+            AdversarySpec::AbortAt {
+                corrupt: seeded(2),
+                round: 3,
+            },
+            AdversarySpec::Withhold {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+                recipients: vec![1, 2],
+            },
+        ],
+        ProtocolKind::Broadcast => vec![
+            AdversarySpec::Honest,
+            // Party 0 is the designated sender: silencing it makes every
+            // receiver abort, equivocating through it tests detection.
+            AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+            },
+            AdversarySpec::Equivocate {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+                victims: vec![1, 2],
+            },
+            AdversarySpec::Withhold {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+                recipients: vec![2, 3],
+            },
+        ],
+        ProtocolKind::SuccinctAllToAll => vec![
+            AdversarySpec::Honest,
+            AdversarySpec::Silent { corrupt: seeded(1) },
+            AdversarySpec::Triggered {
+                base: Box::new(AdversarySpec::Flood {
+                    corrupt: seeded(1),
+                    victims: vec![],
+                    junk_bytes: 2048,
+                    round_budget: None,
+                }),
+                trigger: TriggerSpec::AtRound(1),
+            },
+            AdversarySpec::Both {
+                a: Box::new(AdversarySpec::Silent { corrupt: seeded(1) }),
+                b: Box::new(AdversarySpec::Flood {
+                    corrupt: seeded(1),
+                    victims: vec![],
+                    junk_bytes: 1024,
+                    round_budget: Some(3),
+                }),
+            },
+        ],
+        ProtocolKind::UncheckedSum => vec![
+            AdversarySpec::Honest,
+            AdversarySpec::Silent { corrupt: seeded(2) },
+            AdversarySpec::HonestProxy { corrupt: seeded(2) },
+        ],
+    }
+}
+
+fn build_sweep(seed: u64, tiny: bool) -> Campaign {
+    let mut campaign = Campaign::new(if tiny { "sweep-tiny" } else { "sweep" });
+    for kind in ProtocolKind::ALL {
+        let grid: Vec<(usize, usize)> = kind
+            .sweep_grid()
+            .iter()
+            .copied()
+            .filter(|&(n, _)| !tiny || n <= 12)
+            .collect();
+        for (index, adversary) in sweep_adversaries(kind).into_iter().enumerate() {
+            campaign = campaign.plan(
+                ScenarioPlan::new(format!("swp{index}-{}", kind.name()), kind, adversary)
+                    .with_grid(grid.clone())
+                    .with_seed(seed),
+            );
+        }
+    }
+    if !tiny {
+        // The rigged controls ride the sweep too, so the oracle stays under
+        // test at scale: a charged flood (flooding rule) and an equivocated
+        // verification-free sum (agreement).
+        campaign = campaign
+            .plan(
+                ScenarioPlan::new(
+                    "swpctl-flood",
+                    ProtocolKind::SuccinctAllToAll,
+                    AdversarySpec::Flood {
+                        corrupt: CorruptionSpec::Explicit(vec![0]),
+                        victims: vec![],
+                        junk_bytes: 2048,
+                        round_budget: None,
+                    },
+                )
+                .with_grid([(10, 9)])
+                .with_seed(seed)
+                .charging_adversary_bytes()
+                .expecting(Expectation::ViolatesFloodingRule),
+            )
+            .plan(
+                ScenarioPlan::new(
+                    "swpctl-equiv",
+                    ProtocolKind::UncheckedSum,
+                    AdversarySpec::Equivocate {
+                        corrupt: CorruptionSpec::Explicit(vec![0]),
+                        victims: vec![1],
+                    },
+                )
+                .with_grid([(12, 10)])
+                .with_seed(seed)
+                .expecting(Expectation::ViolatesAgreement),
+            );
+    }
+    campaign
+}
+
+/// The **sweep** campaign: `ProtocolKind::ALL` cross-producted with the
+/// per-family seeded adversary classes over the widened
+/// [`sweep_grid`](ProtocolKind::sweep_grid)s — 150+ scenarios streamed
+/// through one [`SessionPool`] batch — plus the two rigged controls the
+/// oracle must flag. `campaign --sweep` runs it from the CLI and the
+/// `E16-sweep` experiment records its wall-clock and throughput in
+/// `BENCH_results.json`.
+pub fn sweep_campaign(seed: u64) -> Campaign {
+    build_sweep(seed, false)
+}
+
+/// The sweep restricted to its `n ≤ 12` grid points and no controls: the
+/// same cross-product shape at CI-smoke cost (`campaign --sweep --tiny`,
+/// seconds not minutes). Every verdict must be `Holds`.
+pub fn tiny_sweep_campaign(seed: u64) -> Campaign {
+    build_sweep(seed, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +711,64 @@ mod tests {
                 .iter()
                 .any(|s| s.expectation == Expectation::ViolatesAgreement),
             "the campaign must carry a rigged control scenario"
+        );
+    }
+
+    #[test]
+    fn sweep_campaign_covers_the_cross_product_at_scale() {
+        let campaign = sweep_campaign(0);
+        let scenarios = campaign.scenarios();
+        assert!(
+            scenarios.len() >= 100,
+            "the sweep must cover >= 100 scenarios, got {}",
+            scenarios.len()
+        );
+        let labels: std::collections::BTreeSet<&str> =
+            scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels.len(), scenarios.len(), "labels must be unique");
+        // Every family appears on its full sweep grid, every family has an
+        // honest baseline, and both rigged controls ride along.
+        for kind in ProtocolKind::ALL {
+            let of_kind: Vec<_> = scenarios.iter().filter(|s| s.kind == kind).collect();
+            assert!(
+                of_kind.len() >= kind.sweep_grid().len() * 3,
+                "{kind}: expected at least 3 classes x grid, got {}",
+                of_kind.len()
+            );
+            assert!(of_kind.iter().any(|s| s.adversary == AdversarySpec::Honest));
+        }
+        assert_eq!(
+            scenarios
+                .iter()
+                .filter(|s| s.expectation != Expectation::Holds)
+                .count(),
+            2,
+            "exactly the two rigged controls deviate from Holds"
+        );
+        // Every scenario's corruption respects its honest-majority margin
+        // (ScenarioPlan::scenarios asserts this; spelled out here to pin
+        // the sweep's seeded counts against grid edits).
+        for s in &scenarios {
+            assert!(s.corrupted().len() <= s.n - s.h, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_is_small_and_clean_and_runs() {
+        let campaign = tiny_sweep_campaign(5);
+        let scenarios = campaign.scenarios();
+        assert!(scenarios.len() >= 30, "got {}", scenarios.len());
+        assert!(scenarios.iter().all(|s| s.n <= 12));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.expectation == Expectation::Holds));
+        let report = campaign
+            .run(mpca_engine::Sequential, 2)
+            .expect("tiny sweep executes");
+        assert!(
+            report.all_as_expected(),
+            "every tiny-sweep verdict must hold:\n{}",
+            report.render()
         );
     }
 

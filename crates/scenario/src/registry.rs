@@ -16,7 +16,7 @@ use mpca_core::{all_to_all, broadcast, local_mpc, mpc, tradeoff, unchecked, Prot
 use mpca_encfunc::Functionality;
 use mpca_engine::{ExecutionBackend, SessionPool};
 use mpca_net::{
-    AbortAt, Adversary, CommonRandomString, Envelope, Equivocate, FloodBudget, NetError,
+    AbortAt, Adversary, CommonRandomString, Compose, Envelope, Equivocate, FloodBudget, NetError,
     NoAdversary, PartyId, PartyLogic, ProxyAdversary, SilentAdversary, SimConfig, Simulator,
     TriggerWhen, Withhold,
 };
@@ -158,7 +158,13 @@ where
     let (honest, corrupt_logic): (Vec<L>, Vec<L>) = all_parties
         .into_iter()
         .partition(|party| !corrupted.contains(&party.id()));
-    let adversary = compile_adversary(&scenario.adversary, scenario.n, &corrupted, corrupt_logic);
+    let ctx = CompileCtx {
+        n: scenario.n,
+        seed: scenario.seed,
+        label: &scenario.label,
+        all_corrupted: &corrupted,
+    };
+    let adversary = compile_adversary(&scenario.adversary, &ctx, &corrupted, corrupt_logic);
     let config = SimConfig {
         count_adversary_bytes: scenario.charge_adversary_bytes,
         ..SimConfig::default()
@@ -192,6 +198,18 @@ fn victims_or_all_honest(
     }
 }
 
+/// The scenario identity a spec compiles under: [`AdversarySpec::Both`]
+/// re-resolves its per-side corruption sets from it.
+struct CompileCtx<'a> {
+    n: usize,
+    seed: u64,
+    label: &'a str,
+    /// The scenario's full corruption set — inside a [`AdversarySpec::Both`]
+    /// side this is wider than the side's own set, so a flood's defaulted
+    /// victim list never targets the other side's corrupted parties.
+    all_corrupted: &'a BTreeSet<PartyId>,
+}
+
 /// Compiles a declarative spec into live `mpca-net` combinators.
 ///
 /// `corrupt_logic` is the honest protocol logic of the corrupted parties
@@ -199,13 +217,14 @@ fn victims_or_all_honest(
 /// parties simply never run).
 fn compile_adversary<L>(
     spec: &AdversarySpec,
-    n: usize,
+    ctx: &CompileCtx<'_>,
     corrupted: &BTreeSet<PartyId>,
     corrupt_logic: Vec<L>,
 ) -> Box<dyn Adversary>
 where
     L: PartyLogic + Send + 'static,
 {
+    let n = ctx.n;
     match spec {
         AdversarySpec::Honest => Box::new(NoAdversary::new()),
         AdversarySpec::Silent { .. } => Box::new(SilentAdversary::new(corrupted.iter().copied())),
@@ -217,7 +236,7 @@ where
         } => {
             let mut flood = FloodBudget::new(
                 corrupted.iter().copied(),
-                victims_or_all_honest(victims, n, corrupted),
+                victims_or_all_honest(victims, n, ctx.all_corrupted),
                 *junk_bytes,
             );
             if let Some(rounds) = round_budget {
@@ -240,7 +259,7 @@ where
         )),
         AdversarySpec::Triggered { base, trigger } => {
             let wrapped = TriggerWhen::new(
-                compile_adversary(base, n, corrupted, corrupt_logic),
+                compile_adversary(base, ctx, corrupted, corrupt_logic),
                 compile_trigger(trigger),
             );
             // Observation-free inners (floods, silents) are not driven while
@@ -252,6 +271,19 @@ where
             } else {
                 wrapped.without_dormant_observation()
             })
+        }
+        AdversarySpec::Both { a, b } => {
+            // Re-derive the per-side corruption sets (deterministic in the
+            // scenario identity) and split the corrupted parties' honest
+            // logic between the sides; `Compose` enforces disjointness.
+            let (a_set, b_set) = spec.resolve_split(ctx.n, ctx.seed, ctx.label);
+            let (a_logic, b_logic): (Vec<L>, Vec<L>) = corrupt_logic
+                .into_iter()
+                .partition(|logic| a_set.contains(&logic.id()));
+            Box::new(Compose::new(
+                compile_adversary(a, ctx, &a_set, a_logic),
+                compile_adversary(b, ctx, &b_set, b_logic),
+            ))
         }
     }
 }
@@ -327,6 +359,39 @@ mod tests {
             .outcomes
             .values()
             .all(|digest| *digest == all_honest_output));
+    }
+
+    #[test]
+    fn both_adversary_composes_and_runs() {
+        let plan = ScenarioPlan::new(
+            "both",
+            ProtocolKind::UncheckedSum,
+            AdversarySpec::Both {
+                a: Box::new(AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Seeded { count: 2 },
+                }),
+                b: Box::new(AdversarySpec::Flood {
+                    corrupt: CorruptionSpec::Seeded { count: 1 },
+                    victims: vec![],
+                    junk_bytes: 256,
+                    round_budget: Some(2),
+                }),
+            },
+        )
+        .with_grid([(12, 8)])
+        .with_seed(3);
+        let scenario = plan.scenarios().remove(0);
+        let corrupted = scenario.corrupted();
+        assert_eq!(corrupted.len(), 3, "2 silent + 1 flooding, disjoint");
+
+        let mut pool = SessionPool::new(Sequential).with_workers(1);
+        submit_scenario(&mut pool, &scenario);
+        let batch = pool.run().expect("Both scenario runs");
+        let report = &batch.sessions[0];
+        // The flooding side's junk is never charged (§3.1), and the honest
+        // parties all reached a terminal state.
+        assert_eq!(report.stats.bytes_sent_by(&corrupted), 0);
+        assert_eq!(report.outcomes.len(), 12 - corrupted.len());
     }
 
     #[test]

@@ -26,7 +26,7 @@ impl CampaignReport {
     /// identity, execution shape, then one verdict column per property in
     /// [`Property::ALL`](crate::Property::ALL) order and the
     /// expectation-match column.
-    pub const ROW_HEADERS: [&'static str; 13] = [
+    pub const ROW_HEADERS: [&'static str; 14] = [
         "scenario",
         "protocol",
         "adversary",
@@ -39,6 +39,7 @@ impl CampaignReport {
         "I",
         "F",
         "B",
+        "L",
         "expected?",
     ];
 
@@ -70,7 +71,7 @@ impl CampaignReport {
     }
 
     /// A stable, backend-independent digest of every verdict — one line per
-    /// scenario (`label=HHHH`). Byte-identical across backends and worker
+    /// scenario (`label=HHHHH`). Byte-identical across backends and worker
     /// counts; the determinism proptests compare exactly this string.
     pub fn verdict_digest(&self) -> String {
         self.outcomes
@@ -152,6 +153,6 @@ mod tests {
         assert!(report.summary().contains("2 scenarios"));
         let digest = report.verdict_digest();
         assert_eq!(digest.lines().count(), 2);
-        assert!(digest.contains("=HHHH"));
+        assert!(digest.contains("=HHHHH"), "{digest}");
     }
 }

@@ -3,7 +3,7 @@
 //! An [`AdversarySpec`] is pure data — `Clone`, comparable, printable — that
 //! names an adversary *class* instead of holding a live attack object. The
 //! registry compiles a spec into concrete
-//! [`mpca_net::Adversary`](mpca_net::Adversary) combinators when a scenario
+//! [`mpca_net::Adversary`] combinators when a scenario
 //! is submitted to the pool, which keeps plans serialisable-in-spirit and
 //! lets one spec run against every protocol in the catalog.
 
@@ -147,11 +147,27 @@ pub enum AdversarySpec {
         /// When it wakes up.
         trigger: TriggerSpec,
     },
+    /// Two adversary classes active at once over **disjoint** corruption
+    /// sets, compiled into the [`Compose`](mpca_net::Compose) combinator.
+    ///
+    /// Disjointness is resolved deterministically: `a`'s corruption set is
+    /// resolved first, then `b`'s — a seeded `b` samples from the parties
+    /// `a` left free (so `Both(Silent{Seeded 2}, Flood{Seeded 2})` always
+    /// corrupts 4 distinct parties), while an explicit `b` that overlaps
+    /// `a` panics at plan expansion. `Both` cannot nest on the `b` side.
+    Both {
+        /// The first adversary class (resolved first).
+        a: Box<AdversarySpec>,
+        /// The second adversary class (resolved disjointly from `a`).
+        b: Box<AdversarySpec>,
+    },
 }
 
 impl AdversarySpec {
-    /// The corruption spec of this adversary.
-    pub fn corruption(&self) -> &CorruptionSpec {
+    /// The single corruption spec of a non-composite adversary (callers
+    /// must dispatch [`Both`](Self::Both) and [`Triggered`](Self::Triggered)
+    /// structurally first).
+    fn single_corruption(&self) -> &CorruptionSpec {
         match self {
             AdversarySpec::Honest => &CorruptionSpec::None,
             AdversarySpec::HonestProxy { corrupt }
@@ -160,13 +176,91 @@ impl AdversarySpec {
             | AdversarySpec::AbortAt { corrupt, .. }
             | AdversarySpec::Withhold { corrupt, .. }
             | AdversarySpec::Equivocate { corrupt, .. } => corrupt,
-            AdversarySpec::Triggered { base, .. } => base.corruption(),
+            AdversarySpec::Triggered { .. } | AdversarySpec::Both { .. } => {
+                unreachable!("composite specs resolve through their children")
+            }
+        }
+    }
+
+    /// Number of parties this adversary corrupts in an `n`-party network.
+    pub fn corruption_count(&self) -> usize {
+        match self {
+            AdversarySpec::Both { a, b } => a.corruption_count() + b.corruption_count(),
+            AdversarySpec::Triggered { base, .. } => base.corruption_count(),
+            _ => self.single_corruption().count(),
         }
     }
 
     /// Resolves the concrete corruption set for an `n`-party scenario.
     pub fn resolve_corrupted(&self, n: usize, seed: u64, label: &str) -> BTreeSet<PartyId> {
-        self.corruption().resolve(n, seed, label)
+        match self {
+            AdversarySpec::Both { .. } => {
+                let (a, b) = self.resolve_split(n, seed, label);
+                a.union(&b).copied().collect()
+            }
+            AdversarySpec::Triggered { base, .. } => base.resolve_corrupted(n, seed, label),
+            _ => self.single_corruption().resolve(n, seed, label),
+        }
+    }
+
+    /// Resolves the two **disjoint** corruption sets of a
+    /// [`Both`](Self::Both) adversary: `a`'s set is resolved normally, then
+    /// `b`'s is resolved from the parties `a` left free (a seeded `b`
+    /// samples the complement; an explicit `b` overlapping `a` panics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not `Both`, when `b` nests another `Both`, or
+    /// when the sets cannot be made disjoint.
+    pub fn resolve_split(
+        &self,
+        n: usize,
+        seed: u64,
+        label: &str,
+    ) -> (BTreeSet<PartyId>, BTreeSet<PartyId>) {
+        let AdversarySpec::Both { a, b } = self else {
+            panic!("resolve_split is only defined for AdversarySpec::Both")
+        };
+        let a_set = a.resolve_corrupted(n, seed, label);
+        // Unwrap trigger layers on the b side down to the corrupting leaf;
+        // nested Both stays a-side-only so resolution order is unambiguous.
+        let mut leaf: &AdversarySpec = b;
+        while let AdversarySpec::Triggered { base, .. } = leaf {
+            leaf = base;
+        }
+        assert!(
+            !matches!(leaf, AdversarySpec::Both { .. }),
+            "Both cannot nest on the b side; chain on the a side instead"
+        );
+        let b_set = match leaf.single_corruption() {
+            CorruptionSpec::None => BTreeSet::new(),
+            CorruptionSpec::Explicit(_) => {
+                let explicit = leaf.single_corruption().resolve(n, seed, label);
+                let overlap: Vec<_> = explicit.intersection(&a_set).collect();
+                assert!(
+                    overlap.is_empty(),
+                    "Both sides must corrupt disjoint parties, both corrupt {overlap:?}"
+                );
+                explicit
+            }
+            CorruptionSpec::Seeded { count } => {
+                let free: Vec<PartyId> = PartyId::all(n).filter(|id| !a_set.contains(id)).collect();
+                assert!(
+                    *count <= free.len(),
+                    "Both's b side corrupts {count} parties but only {} are free",
+                    free.len()
+                );
+                sample_corruption(
+                    &[label.as_bytes(), b"-both-b", &seed.to_le_bytes()].concat(),
+                    free.len(),
+                    *count,
+                )
+                .into_iter()
+                .map(|pick| free[pick.index()])
+                .collect()
+            }
+        };
+        (a_set, b_set)
     }
 
     /// `true` when compiling this spec requires honest party logic for the
@@ -181,6 +275,7 @@ impl AdversarySpec {
             | AdversarySpec::Withhold { .. }
             | AdversarySpec::Equivocate { .. } => true,
             AdversarySpec::Triggered { base, .. } => base.needs_proxy_logic(),
+            AdversarySpec::Both { a, b } => a.needs_proxy_logic() || b.needs_proxy_logic(),
         }
     }
 
@@ -197,6 +292,7 @@ impl AdversarySpec {
             AdversarySpec::Triggered { base, trigger } => {
                 format!("{}@{}", base.name(), trigger.name())
             }
+            AdversarySpec::Both { a, b } => format!("{}+{}", a.name(), b.name()),
         }
     }
 }
@@ -234,7 +330,7 @@ mod tests {
         };
         assert_eq!(flood.name(), "flood");
         assert!(!flood.needs_proxy_logic());
-        assert_eq!(flood.corruption().count(), 1);
+        assert_eq!(flood.corruption_count(), 1);
 
         let triggered = AdversarySpec::Triggered {
             base: Box::new(flood),
@@ -252,5 +348,108 @@ mod tests {
         assert!(AdversarySpec::Honest
             .resolve_corrupted(6, 0, "l")
             .is_empty());
+    }
+
+    #[test]
+    fn both_resolves_disjoint_seeded_sides() {
+        let both = AdversarySpec::Both {
+            a: Box::new(AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Seeded { count: 3 },
+            }),
+            b: Box::new(AdversarySpec::Flood {
+                corrupt: CorruptionSpec::Seeded { count: 3 },
+                victims: vec![],
+                junk_bytes: 64,
+                round_budget: None,
+            }),
+        };
+        assert_eq!(both.name(), "silent+flood");
+        assert_eq!(both.corruption_count(), 6);
+        assert!(!both.needs_proxy_logic());
+
+        let (a_set, b_set) = both.resolve_split(8, 11, "plan");
+        assert_eq!(a_set.len(), 3);
+        assert_eq!(b_set.len(), 3);
+        assert!(
+            a_set.is_disjoint(&b_set),
+            "sides must be disjoint: {a_set:?} vs {b_set:?}"
+        );
+        // The union is what the scenario reports as corrupted, and the
+        // resolution is deterministic in (n, seed, label).
+        let union = both.resolve_corrupted(8, 11, "plan");
+        assert_eq!(union.len(), 6);
+        assert_eq!(union, both.resolve_corrupted(8, 11, "plan"));
+        assert_ne!(union, both.resolve_corrupted(8, 12, "plan"));
+    }
+
+    #[test]
+    fn both_with_a_proxy_side_needs_proxy_logic() {
+        let both = AdversarySpec::Both {
+            a: Box::new(AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+            }),
+            b: Box::new(AdversarySpec::Equivocate {
+                corrupt: CorruptionSpec::Explicit(vec![1]),
+                victims: vec![2],
+            }),
+        };
+        assert!(both.needs_proxy_logic());
+        assert_eq!(both.name(), "silent+equivocate");
+        let (a_set, b_set) = both.resolve_split(4, 0, "x");
+        assert_eq!(a_set, [PartyId(0)].into());
+        assert_eq!(b_set, [PartyId(1)].into());
+    }
+
+    #[test]
+    fn composites_nest_without_panicking() {
+        // Triggered-of-Both resolves through the Both path…
+        let triggered_both = AdversarySpec::Triggered {
+            base: Box::new(AdversarySpec::Both {
+                a: Box::new(AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Seeded { count: 2 },
+                }),
+                b: Box::new(AdversarySpec::Silent {
+                    corrupt: CorruptionSpec::Seeded { count: 1 },
+                }),
+            }),
+            trigger: TriggerSpec::AtRound(2),
+        };
+        assert_eq!(triggered_both.corruption_count(), 3);
+        assert_eq!(triggered_both.resolve_corrupted(8, 4, "t").len(), 3);
+        assert_eq!(triggered_both.name(), "silent+silent@r2");
+
+        // …and a Triggered b side unwraps to its corrupting leaf.
+        let both_triggered_b = AdversarySpec::Both {
+            a: Box::new(AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+            }),
+            b: Box::new(AdversarySpec::Triggered {
+                base: Box::new(AdversarySpec::Flood {
+                    corrupt: CorruptionSpec::Seeded { count: 2 },
+                    victims: vec![],
+                    junk_bytes: 64,
+                    round_budget: None,
+                }),
+                trigger: TriggerSpec::AtRound(1),
+            }),
+        };
+        let (a_set, b_set) = both_triggered_b.resolve_split(8, 4, "t");
+        assert_eq!(a_set, [PartyId(0)].into());
+        assert_eq!(b_set.len(), 2);
+        assert!(a_set.is_disjoint(&b_set));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn both_with_overlapping_explicit_sides_panics() {
+        AdversarySpec::Both {
+            a: Box::new(AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Explicit(vec![0, 1]),
+            }),
+            b: Box::new(AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Explicit(vec![1]),
+            }),
+        }
+        .resolve_split(4, 0, "x");
     }
 }

@@ -46,8 +46,9 @@ mod writer;
 
 pub use error::WireError;
 pub use reader::Reader;
+pub use reader::MAX_FIELD_LEN;
 pub use traits::{Decode, Encode};
-pub use varint::{decode_uvarint, encode_uvarint, uvarint_len};
+pub use varint::{decode_uvarint, encode_uvarint, uvarint_len, MAX_VARINT_LEN};
 pub use writer::Writer;
 
 /// Encodes a value into a fresh byte vector.
