@@ -889,6 +889,82 @@ pub fn exp_sweep() -> Table {
     table
 }
 
+/// `E17-trace` — trace-recording overhead: the tiny sweep campaign runs
+/// back-to-back untraced and traced (every send recorded as a zero-copy
+/// `Payload` window, every milestone recorded, one SHA-256 digest per
+/// session), best-of-`REPS` wall-clock per mode. The acceptance target is
+/// **< 10 % wall-clock overhead**, which is what lets campaigns keep
+/// tracing on by default (behavioural oracle predicates, `--record` /
+/// `--replay`); the events/milestones columns track how much structure the
+/// trace plane captures for that price.
+pub fn exp_trace_overhead() -> Table {
+    const REPS: usize = 3;
+    let mut table = Table::new(
+        "E17-trace",
+        "Trace-recording overhead on the tiny sweep campaign (untraced vs traced, best-of-3 \
+         wall-clock): events and milestones recorded, digested bytes, and the overhead the \
+         <10% acceptance target bounds.",
+        &[
+            "mode",
+            "scenarios",
+            "events",
+            "milestones",
+            "injected",
+            "best wall ms",
+            "overhead",
+        ],
+    );
+    let campaign = mpca_scenario::tiny_sweep_campaign(0);
+    let mut best_plain = f64::MAX;
+    let mut best_traced = f64::MAX;
+    let mut traced_report = None;
+    for _ in 0..REPS {
+        let start = std::time::Instant::now();
+        let plain = campaign.run(Sequential, 1).expect("untraced sweep runs");
+        best_plain = best_plain.min(start.elapsed().as_secs_f64() * 1000.0);
+        assert!(plain.all_as_expected(), "untraced sweep must pass");
+
+        let start = std::time::Instant::now();
+        let traced = campaign
+            .run_traced(Sequential, 1)
+            .expect("traced sweep runs");
+        best_traced = best_traced.min(start.elapsed().as_secs_f64() * 1000.0);
+        assert!(traced.all_as_expected(), "traced sweep must pass");
+        traced_report = Some(traced);
+    }
+    let traced = traced_report.expect("REPS >= 1");
+    let summaries = traced.trace_summaries();
+    assert_eq!(
+        summaries.len(),
+        traced.len(),
+        "every traced session carries a summary"
+    );
+    let events: u64 = summaries.iter().map(|(_, s)| s.events).sum();
+    let milestones: u64 = summaries.iter().map(|(_, s)| s.milestones).sum();
+    let injected: u64 = summaries.iter().map(|(_, s)| s.injected_sends).sum();
+    let overhead = (best_traced - best_plain) / best_plain.max(1e-9) * 100.0;
+
+    table.push_row(vec![
+        "untraced".into(),
+        traced.len().to_string(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        format!("{best_plain:.1}"),
+        "baseline".into(),
+    ]);
+    table.push_row(vec![
+        "traced".into(),
+        traced.len().to_string(),
+        events.to_string(),
+        milestones.to_string(),
+        injected.to_string(),
+        format!("{best_traced:.1}"),
+        format!("{overhead:+.1}%"),
+    ]);
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -911,6 +987,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E14-message-plane", exp_message_plane),
         ("E15-scenario-campaign", exp_scenario_campaign),
         ("E16-sweep", exp_sweep),
+        ("E17-trace", exp_trace_overhead),
     ]
 }
 
@@ -959,7 +1036,25 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 16);
+        assert_eq!(all_experiments().len(), 17);
+    }
+
+    #[test]
+    fn trace_overhead_experiment_records_events() {
+        let _guard = serial();
+        let table = exp_trace_overhead();
+        assert_eq!(table.rows.len(), 2);
+        let traced = &table.rows[1];
+        assert_eq!(traced[0], "traced");
+        assert!(
+            traced[2].parse::<u64>().unwrap() > 10_000,
+            "the tiny sweep exchanges tens of thousands of envelopes: {traced:?}"
+        );
+        assert!(traced[3].parse::<u64>().unwrap() > 0, "milestones recorded");
+        assert!(
+            traced[4].parse::<u64>().unwrap() > 0,
+            "the sweep's floods inject junk, tagged distinctly"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
+use mpca_net::{AbortReason, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::equality::PairwiseEquality;
@@ -118,6 +118,7 @@ impl PartyLogic for NaiveAllToAllParty {
                 self.view.insert(self.id, self.input.clone());
                 let input = Payload::encode(&NaiveMsg::Input(self.input.clone()));
                 ctx.send_payload_to_all(self.others(), &input);
+                ctx.milestone(Milestone::SharesDistributed);
                 Step::Continue
             }
             1 => {
@@ -139,6 +140,7 @@ impl PartyLogic for NaiveAllToAllParty {
                 }
                 // The O(n·ℓ)-byte echo is the dominant message of the naive
                 // baseline; materialise it once for all n − 1 recipients.
+                ctx.milestone(Milestone::VerificationStart);
                 let echo = Payload::encode(&NaiveMsg::Echo(self.view.clone()));
                 ctx.send_payload_to_all(self.others(), &echo);
                 Step::Continue
@@ -266,6 +268,7 @@ impl PartyLogic for SuccinctAllToAllParty {
                 self.view.insert(self.id, self.input.clone());
                 let input = Payload::encode(&SuccinctMsg::Input(self.input.clone()));
                 ctx.send_payload_to_all(self.others(), &input);
+                ctx.milestone(Milestone::SharesDistributed);
                 Step::Continue
             }
             1 => {
@@ -286,6 +289,7 @@ impl PartyLogic for SuccinctAllToAllParty {
                     }
                 }
                 let encoded = encode_view(&self.view);
+                ctx.milestone(Milestone::VerificationStart);
                 for (peer, challenge) in self.equality.build_challenges(&encoded, &mut self.prg) {
                     ctx.send_msg(peer, &SuccinctMsg::Challenge(challenge));
                 }

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
+use mpca_net::{AbortReason, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// Number of rounds the protocol takes.
@@ -142,6 +142,8 @@ impl PartyLogic for BroadcastParty {
                         }
                     }
                 }
+                // The echo exchange is this protocol's verification phase.
+                ctx.milestone(Milestone::VerificationStart);
                 let echo = Payload::encode(&BroadcastMsg::Echo(self.received.clone()));
                 ctx.send_payload_to_all(self.others(), &echo);
                 Step::Continue

@@ -421,16 +421,17 @@ fn curves() -> &'static BTreeMap<ProtocolKind, BudgetCurve> {
 }
 
 /// Parses the golden fixture. The format is the line-oriented JSON the
-/// bless test renders — one `points` entry per line — so a dependency-free
-/// field scanner suffices; unknown protocols are skipped for forward
-/// compatibility.
+/// bless test renders — one `points` entry per line — scanned with the
+/// shared [`mpca_wire::linejson`] helpers; unknown protocols are skipped
+/// for forward compatibility.
 fn parse_curves(text: &str) -> BTreeMap<ProtocolKind, BudgetCurve> {
+    use mpca_wire::linejson::{field_str, field_u64};
     let mut map: BTreeMap<ProtocolKind, BudgetCurve> = BTreeMap::new();
     for line in text.lines() {
         let Some(name) = field_str(line, "protocol") else {
             continue;
         };
-        let Some(kind) = ProtocolKind::from_name(name) else {
+        let Some(kind) = ProtocolKind::from_name(&name) else {
             continue;
         };
         let (Some(n), Some(h), Some(payload), Some(bits), Some(locality)) = (
@@ -457,25 +458,6 @@ fn parse_curves(text: &str) -> BTreeMap<ProtocolKind, BudgetCurve> {
             });
     }
     map
-}
-
-/// Extracts the string value of `"key":"…"` from one fixture line.
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pattern = format!("\"{key}\":\"");
-    let start = line.find(&pattern)? + pattern.len();
-    let end = line[start..].find('"')? + start;
-    Some(&line[start..end])
-}
-
-/// Extracts the numeric value of `"key":123` from one fixture line.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    let pattern = format!("\"{key}\":");
-    let start = line.find(&pattern)? + pattern.len();
-    let digits: String = line[start..]
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect();
-    digits.parse().ok()
 }
 
 impl std::fmt::Display for ProtocolKind {

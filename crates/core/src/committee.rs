@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
-use mpca_net::{AbortReason, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step};
+use mpca_net::{AbortReason, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload, Step};
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::equality::PairwiseEquality;
@@ -230,6 +230,10 @@ impl PartyLogic for CommitteeElectParty {
                         ));
                     }
                 }
+                // The committee is settled: announce the milestone (embedding
+                // protocols share this ctx, so Theorem 1 executions carry it
+                // too — protocol-aware triggers arm on exactly this event).
+                ctx.milestone(Milestone::CommitteeAnnounced);
                 Step::Output(CommitteeView {
                     committee: std::mem::take(&mut self.view),
                     is_member: self.elected,

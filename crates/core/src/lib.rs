@@ -19,6 +19,7 @@
 //! | [`tradeoff`] | Algorithm 8 / Theorem 4 / 19 | `Õ(n³/h^{3/2})` bits, locality `Õ(n/√h)` |
 //! | [`lower_bound`] | Theorem 3 / Appendix A | the isolation attack behind the `Ω(n²/h)` bound |
 //! | [`catalog`] | — | protocol registry hooks: [`ProtocolKind`] + paper comm budgets |
+//! | [`frames`] | — | per-protocol frame schemas: trace tagging + framing-aware tampering |
 //! | [`unchecked`] | — | verification-free sum (negative control for the scenario oracle) |
 //!
 //! All protocols share [`params::ProtocolParams`] (the `(n, h, λ, α)`
@@ -37,6 +38,7 @@ pub mod broadcast;
 pub mod catalog;
 pub mod committee;
 pub mod equality;
+pub mod frames;
 pub mod gossip;
 pub mod local_committee;
 pub mod local_mpc;
@@ -49,4 +51,5 @@ pub mod tradeoff;
 pub mod unchecked;
 
 pub use catalog::{BudgetCurve, CalibrationPoint, ProtocolKind, BUDGET_SLACK};
+pub use frames::FrameSchema;
 pub use params::{ExecutionPath, ProtocolParams};

@@ -21,7 +21,8 @@ use std::collections::BTreeSet;
 use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::Prg;
 use mpca_net::{
-    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+    AbortReason, CommonRandomString, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload,
+    Step,
 };
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -251,6 +252,9 @@ impl PartyLogic for LocalCommitteeElectParty {
                         ));
                     }
                 }
+                // The local committee is settled (same milestone the global
+                // election emits, so triggers work across both MPC families).
+                ctx.milestone(Milestone::CommitteeAnnounced);
                 Step::Output(LocalCommitteeOutput {
                     view: CommitteeView {
                         committee: std::mem::take(&mut self.committee),

@@ -28,7 +28,8 @@ use std::collections::BTreeSet;
 
 use mpca_encfunc::spec::Functionality;
 use mpca_net::{
-    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+    AbortReason, CommonRandomString, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload,
+    Step,
 };
 
 use crate::gossip::{GossipParty, GossipView};
@@ -147,6 +148,9 @@ impl PartyLogic for LocalMpcParty {
 
         // Phase A: sparse routing network.
         if round < crate::sparse::ROUNDS {
+            if round == 0 {
+                ctx.milestone(Milestone::CrsReady);
+            }
             let sparse = self.sparse.as_mut().expect("sparse phase in progress");
             return match sparse.on_round(round, incoming, ctx) {
                 Step::Continue => Step::Continue,
@@ -154,6 +158,8 @@ impl PartyLogic for LocalMpcParty {
                 Step::Output(Neighborhood { neighbors }) => {
                     self.neighbors = neighbors;
                     self.sparse = None;
+                    // Input shares start gossiping next round.
+                    ctx.milestone(Milestone::SharesDistributed);
                     self.gossip_inputs = Some(GossipParty::new(
                         self.id,
                         self.neighbors.clone(),
@@ -180,6 +186,9 @@ impl PartyLogic for LocalMpcParty {
                     let payload = self.output_payload(&output);
                     self.output = Some(output);
                     self.gossip_inputs = None;
+                    // The output cross-check gossip is this family's
+                    // verification phase.
+                    ctx.milestone(Milestone::VerificationStart);
                     self.gossip_outputs = Some(GossipParty::new(
                         self.id,
                         self.neighbors.clone(),

@@ -34,7 +34,8 @@ use mpca_encfunc::linear;
 use mpca_encfunc::spec::Functionality;
 use mpca_encfunc::SharedHost;
 use mpca_net::{
-    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+    AbortReason, CommonRandomString, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload,
+    Step,
 };
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -312,6 +313,11 @@ impl PartyLogic for MpcParty {
     ) -> Step<Vec<u8>> {
         // Phase A: committee election (rounds 0..committee::ROUNDS).
         if round < crate::committee::ROUNDS {
+            if round == 0 {
+                // CRS-derived state (shared matrix, election coins) is in
+                // place and the protocol proper begins.
+                ctx.milestone(Milestone::CrsReady);
+            }
             let elect = self.elect.as_mut().expect("election still in progress");
             return match elect.on_round(round, incoming, ctx) {
                 Step::Continue => Step::Continue,
@@ -472,6 +478,7 @@ impl PartyLogic for MpcParty {
                 };
                 let committee: Vec<PartyId> = self.committee.iter().copied().collect();
                 ctx.send_to_all(committee, &MpcMsg::InputCt(ct));
+                ctx.milestone(Milestone::SharesDistributed);
                 Step::Continue
             }
             // Members: collect ciphertexts and start the pairwise check.
@@ -505,6 +512,7 @@ impl PartyLogic for MpcParty {
                         self.params.lambda,
                     );
                     let encoded = encode_ct_view(&self.ct_view);
+                    ctx.milestone(Milestone::VerificationStart);
                     for (peer, challenge) in equality.build_challenges(&encoded, &mut self.prg) {
                         ctx.send_msg(peer, &MpcMsg::CtChallenge(challenge));
                     }

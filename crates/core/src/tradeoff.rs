@@ -22,7 +22,8 @@ use mpca_encfunc::linear;
 use mpca_encfunc::spec::Functionality;
 use mpca_encfunc::SharedHost;
 use mpca_net::{
-    AbortReason, CommonRandomString, Envelope, PartyCtx, PartyId, PartyLogic, Payload, Step,
+    AbortReason, CommonRandomString, Envelope, Milestone, PartyCtx, PartyId, PartyLogic, Payload,
+    Step,
 };
 
 use crate::equality::PairwiseEquality;
@@ -204,6 +205,9 @@ impl PartyLogic for TradeoffParty {
 
         // Phase A: local committee election.
         if round < election_end {
+            if round == 0 {
+                ctx.milestone(Milestone::CrsReady);
+            }
             let elect = self.elect.as_mut().expect("election in progress");
             return match elect.on_round(round, incoming, ctx) {
                 Step::Continue => Step::Continue,
@@ -379,6 +383,7 @@ impl PartyLogic for TradeoffParty {
                     .filter(|p| *p != self.id)
                     .collect();
                 ctx.send_to_all(recipients, &MpcMsg::InputCt(ct));
+                ctx.milestone(Milestone::SharesDistributed);
                 Step::Continue
             }
             // Members: collect ciphertexts from their cover and forward the
@@ -470,6 +475,7 @@ impl PartyLogic for TradeoffParty {
                         self.params.lambda,
                     );
                     let encoded = encode_ct_view(&self.ct_view);
+                    ctx.milestone(Milestone::VerificationStart);
                     for (peer, challenge) in equality.build_challenges(&encoded, &mut self.prg) {
                         ctx.send_msg(peer, &MpcMsg::CtChallenge(challenge));
                     }

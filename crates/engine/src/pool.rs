@@ -47,6 +47,7 @@ pub struct SessionPool<B: ExecutionBackend> {
     workers: usize,
     sessions: Vec<PoolSession<B>>,
     progress: Option<ProgressFn>,
+    tracing: bool,
 }
 
 impl<B: ExecutionBackend> SessionPool<B> {
@@ -59,12 +60,24 @@ impl<B: ExecutionBackend> SessionPool<B> {
                 .unwrap_or(4),
             sessions: Vec::new(),
             progress: None,
+            tracing: false,
         }
     }
 
     /// Bounds the pool to `workers` concurrent sessions (at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables execution tracing for sessions submitted **after** this call
+    /// (builder style: configure the pool, then submit): each session's
+    /// simulator records its event stream and the resulting
+    /// [`SessionReport::trace`] carries the canonical digest, counters and
+    /// trace-derived abort reasons — inside the cross-backend equality
+    /// contract.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -108,10 +121,14 @@ impl<B: ExecutionBackend> SessionPool<B> {
         F: FnOnce() -> Result<Simulator<L>, NetError> + Send + 'static,
     {
         let job_label = label.into();
+        let tracing = self.tracing;
         self.sessions.push(PoolSession {
             job: Box::new(move |backend: &B| {
                 let start = Instant::now();
-                let sim = build()?;
+                let mut sim = build()?;
+                if tracing {
+                    sim.record_trace();
+                }
                 let result = backend.execute(sim)?;
                 Ok(SessionReport::from_result(
                     job_label,
@@ -310,6 +327,43 @@ mod tests {
         pool.run().unwrap();
         assert_eq!(events.load(Ordering::Relaxed), 5);
         assert_eq!(max_completed.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn traced_pools_digest_identically_across_backends() {
+        let run = |parallel: bool| {
+            if parallel {
+                let mut pool = SessionPool::new(Parallel::with_threads(3))
+                    .with_workers(2)
+                    .with_tracing(true);
+                for (i, n) in [4usize, 6, 5].into_iter().enumerate() {
+                    pool.submit(format!("t{i}"), move || sum_sim(n, 3));
+                }
+                pool.run().unwrap()
+            } else {
+                let mut pool = SessionPool::new(Sequential)
+                    .with_workers(1)
+                    .with_tracing(true);
+                for (i, n) in [4usize, 6, 5].into_iter().enumerate() {
+                    pool.submit(format!("t{i}"), move || sum_sim(n, 3));
+                }
+                pool.run().unwrap()
+            }
+        };
+        let sequential = run(false);
+        let parallel = run(true);
+        for (s, p) in sequential.sessions.iter().zip(&parallel.sessions) {
+            let s_trace = s.trace.as_ref().expect("traced session carries a summary");
+            let p_trace = p.trace.as_ref().expect("traced session carries a summary");
+            assert_eq!(s_trace, p_trace, "session {}", s.label);
+            assert!(s_trace.events > 0, "the sum protocol sends envelopes");
+            assert_eq!(
+                s_trace.milestones,
+                s.outcomes.len() as u64,
+                "one synthesised OutputDecided per honest party"
+            );
+        }
+        assert_eq!(sequential.sessions, parallel.sessions);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt::Debug;
 use std::time::Duration;
 
 use mpca_net::{AbortReason, CommStats, PartyId, PartyOutcome, RunResult};
+use mpca_trace::TraceSummary;
 
 /// A backend-independent digest of one honest party's terminal state.
 ///
@@ -61,6 +62,13 @@ pub struct SessionReport {
     pub peak_inbox_bytes: u64,
     /// Peak envelopes queued at any round boundary.
     pub peak_inbox_envelopes: u64,
+    /// The trace summary of the session, when the pool ran with tracing
+    /// ([`SessionPool::with_tracing`](crate::SessionPool::with_tracing)) —
+    /// the canonical digest of the full event stream plus the
+    /// trace-derived abort reasons. **Part of equality**: the
+    /// parallel == sequential contract covers the entire event stream of a
+    /// traced session, not just its aggregates.
+    pub trace: Option<TraceSummary>,
     /// Wall-clock time of this session (build + execution).
     pub wall: Duration,
 }
@@ -74,6 +82,7 @@ impl PartialEq for SessionReport {
             && self.rounds == other.rounds
             && self.peak_inbox_bytes == other.peak_inbox_bytes
             && self.peak_inbox_envelopes == other.peak_inbox_envelopes
+            && self.trace == other.trace
     }
 }
 
@@ -103,6 +112,7 @@ impl SessionReport {
             rounds: result.rounds,
             peak_inbox_bytes: result.peak_inbox_bytes,
             peak_inbox_envelopes: result.peak_inbox_envelopes,
+            trace: result.trace.as_ref().map(TraceSummary::of),
             wall,
         }
     }
@@ -235,6 +245,7 @@ mod tests {
             rounds,
             peak_inbox_bytes: 10,
             peak_inbox_envelopes: 1,
+            trace: None,
             wall: Duration::from_millis(wall_ms),
         }
     }
@@ -340,10 +351,29 @@ mod tests {
             rounds: 1,
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
+            trace: None,
         };
         let report = SessionReport::from_result("r", &result, Duration::ZERO);
         assert_eq!(report.abort_reason_of(PartyId(1)), Some(&reason));
         assert_eq!(report.abort_reason_of(PartyId(0)), None);
         assert_eq!(report.abort_reasons.len(), 1);
+        assert_eq!(report.trace, None, "untraced runs digest nothing");
+    }
+
+    #[test]
+    fn equality_covers_the_trace_digest() {
+        let mut traced = report("a", 2, 5);
+        traced.trace = Some(TraceSummary {
+            digest: "aa".into(),
+            events: 3,
+            milestones: 1,
+            injected_sends: 0,
+            aborts: BTreeMap::new(),
+        });
+        let mut divergent = traced.clone();
+        assert_eq!(traced, divergent);
+        divergent.trace.as_mut().unwrap().digest = "bb".into();
+        assert_ne!(traced, divergent, "a digest drift breaks equality");
+        assert_ne!(traced, report("a", 2, 5), "traced != untraced");
     }
 }

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::envelope::Envelope;
-use crate::party::{PartyCtx, PartyId, PartyLogic};
+use crate::party::{MilestoneEvent, PartyCtx, PartyId, PartyLogic};
 use crate::payload::Payload;
 
 /// Context the adversary uses to inject messages.
@@ -81,6 +81,16 @@ pub trait Adversary: Send {
         delivered: &BTreeMap<PartyId, Vec<Envelope>>,
         ctx: &mut AdversaryCtx,
     );
+
+    /// Called once per round, **before** [`on_round`](Adversary::on_round),
+    /// with the protocol [`MilestoneEvent`]s honest parties emitted this
+    /// round. Milestones model *public* protocol progress (a committee
+    /// announcement, shares going out), which a rushing adversary
+    /// legitimately observes — protocol-aware triggers
+    /// ([`TriggerWhen::at_milestone`](crate::TriggerWhen::at_milestone))
+    /// arm on them. The default implementation ignores them; wrapping
+    /// combinators forward them to their inner adversaries.
+    fn observe_milestones(&mut self, _round: usize, _milestones: &[MilestoneEvent]) {}
 }
 
 /// The empty adversary: corrupts nobody and sends nothing.
@@ -182,6 +192,10 @@ impl Adversary for FloodAdversary {
         ctx: &mut AdversaryCtx,
     ) {
         self.inner.on_round(round, delivered, ctx);
+    }
+
+    fn observe_milestones(&mut self, round: usize, milestones: &[MilestoneEvent]) {
+        self.inner.observe_milestones(round, milestones);
     }
 }
 

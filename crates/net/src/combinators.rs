@@ -35,7 +35,7 @@ use mpca_crypto::Prg;
 
 use crate::adversary::{Adversary, AdversaryCtx};
 use crate::envelope::Envelope;
-use crate::party::PartyId;
+use crate::party::{MilestoneEvent, MilestoneKind, PartyId};
 use crate::payload::Payload;
 
 /// Samples a `count`-element corruption set out of `n` parties,
@@ -132,6 +132,12 @@ impl Adversary for Compose {
         self.a.on_round(round, &to_a, ctx);
         self.b.on_round(round, &to_b, ctx);
     }
+
+    fn observe_milestones(&mut self, round: usize, milestones: &[MilestoneEvent]) {
+        // Milestones are public progress: both sides observe all of them.
+        self.a.observe_milestones(round, milestones);
+        self.b.observe_milestones(round, milestones);
+    }
 }
 
 /// Crash-stop at a chosen round: passes the inner adversary's envelopes
@@ -200,6 +206,10 @@ impl Adversary for AbortAt {
             ctx.send_as(envelope.from, envelope.to, envelope.payload);
         }
     }
+
+    fn observe_milestones(&mut self, round: usize, milestones: &[MilestoneEvent]) {
+        self.inner.observe_milestones(round, milestones);
+    }
 }
 
 /// Selective message withholding: the inner adversary's envelopes addressed
@@ -249,31 +259,71 @@ impl Adversary for Withhold {
             ctx.send_as(envelope.from, envelope.to, envelope.payload);
         }
     }
+
+    fn observe_milestones(&mut self, round: usize, milestones: &[MilestoneEvent]) {
+        self.inner.observe_milestones(round, milestones);
+    }
 }
 
 /// Equivocation: selected victims receive a *tampered* copy of each message
 /// while everyone else receives the true one.
 ///
-/// Tampering is deterministic (every payload byte is XOR-ed with `0xA5`,
-/// length preserved), so executions stay reproducible and the charged
-/// message sizes are unchanged. Protocols with equivocation detection must
-/// answer with abort; the `unchecked` negative-control protocol in
-/// `mpca-core` shows what happens without detection.
+/// Two tampering modes exist:
+///
+/// * the default blunt mode XOR-s every payload byte with `0xA5` — length
+///   preserved, but the tampered copy usually fails to *parse*, so the
+///   victim aborts with a `Malformed` reason and the attack only exercises
+///   the parser;
+/// * the **framing-aware** mode ([`Equivocate::with_rewriter`]) delegates to
+///   a [`FrameRewriter`] that rewrites a *field* inside a decoded frame and
+///   re-encodes it — the tampered copy still parses, so the attack tests the
+///   protocol's *verification* (equivocation detection, equality tests) and
+///   a detecting protocol must answer with an identified abort, not a parse
+///   error. The per-protocol frame schemas live in `mpca-core`'s `frames`
+///   module; the `mpca-scenario` registry compiles them into rewriters.
+///
+/// Both modes are deterministic, so executions stay reproducible and the
+/// charged message sizes are unchanged. The `unchecked` negative-control
+/// protocol in `mpca-core` shows what happens without detection.
 pub struct Equivocate {
     inner: Box<dyn Adversary>,
     victims: BTreeSet<PartyId>,
+    rewriter: Option<FrameRewriter>,
 }
 
+/// The framing-aware tamper hook of [`Equivocate::with_rewriter`]: given an
+/// envelope addressed to a victim, returns the tampered payload, or `None`
+/// to pass the envelope through untouched (e.g. when the payload is not the
+/// targeted frame).
+pub type FrameRewriter = Box<dyn FnMut(&Envelope) -> Option<Payload> + Send>;
+
 impl Equivocate {
-    /// Tamper with every inner envelope addressed to a party in `victims`.
+    /// Tamper with every inner envelope addressed to a party in `victims`
+    /// (blunt byte-flip mode).
     pub fn new(inner: Box<dyn Adversary>, victims: impl IntoIterator<Item = PartyId>) -> Self {
         Self {
             inner,
             victims: victims.into_iter().collect(),
+            rewriter: None,
         }
     }
 
-    /// The deterministic byte-flip applied to victims' copies.
+    /// Framing-aware equivocation: envelopes addressed to `victims` are
+    /// rewritten by `rewriter`; a `None` from the rewriter passes the true
+    /// payload through (the frame was not a tamper target).
+    pub fn with_rewriter(
+        inner: Box<dyn Adversary>,
+        victims: impl IntoIterator<Item = PartyId>,
+        rewriter: impl FnMut(&Envelope) -> Option<Payload> + Send + 'static,
+    ) -> Self {
+        Self {
+            inner,
+            victims: victims.into_iter().collect(),
+            rewriter: Some(Box::new(rewriter)),
+        }
+    }
+
+    /// The deterministic byte-flip applied to victims' copies in blunt mode.
     fn tamper(payload: &Payload) -> Payload {
         Payload::from_vec(payload.iter().map(|b| b ^ 0xA5).collect())
     }
@@ -300,12 +350,19 @@ impl Adversary for Equivocate {
     ) {
         for envelope in drain_inner(self.inner.as_mut(), round, delivered) {
             let payload = if self.victims.contains(&envelope.to) {
-                Self::tamper(&envelope.payload)
+                match &mut self.rewriter {
+                    Some(rewrite) => rewrite(&envelope).unwrap_or(envelope.payload),
+                    None => Self::tamper(&envelope.payload),
+                }
             } else {
                 envelope.payload
             };
             ctx.send_as(envelope.from, envelope.to, payload);
         }
+    }
+
+    fn observe_milestones(&mut self, round: usize, milestones: &[MilestoneEvent]) {
+        self.inner.observe_milestones(round, milestones);
     }
 }
 
@@ -424,6 +481,9 @@ pub type TriggerPredicate = Box<dyn FnMut(usize, &BTreeMap<PartyId, Vec<Envelope
 pub struct TriggerWhen {
     inner: Box<dyn Adversary>,
     predicate: TriggerPredicate,
+    /// When set, observing any milestone of this kind arms the trigger —
+    /// the protocol-aware activation mode ([`TriggerWhen::at_milestone`]).
+    milestone: Option<MilestoneKind>,
     triggered: bool,
     observe_dormant: bool,
 }
@@ -437,6 +497,23 @@ impl TriggerWhen {
         Self {
             inner,
             predicate: Box::new(predicate),
+            milestone: None,
+            triggered: false,
+            observe_dormant: true,
+        }
+    }
+
+    /// Suppresses `inner`'s sends until any honest party emits a milestone
+    /// of `kind` — a **protocol-aware** trigger ("attack after the
+    /// committee announcement") that fires on protocol phase rather than
+    /// round numbers or byte counts. The adversary is rushing: an attack
+    /// armed by a round-`r` milestone already shapes the envelopes
+    /// delivered in round `r + 1`.
+    pub fn at_milestone(inner: Box<dyn Adversary>, kind: MilestoneKind) -> Self {
+        Self {
+            inner,
+            predicate: Box::new(|_, _| false),
+            milestone: Some(kind),
             triggered: false,
             observe_dormant: true,
         }
@@ -490,6 +567,15 @@ impl Adversary for TriggerWhen {
                 ctx.send_as(envelope.from, envelope.to, envelope.payload);
             }
         }
+    }
+
+    fn observe_milestones(&mut self, round: usize, milestones: &[MilestoneEvent]) {
+        if !self.triggered {
+            if let Some(kind) = self.milestone {
+                self.triggered = milestones.iter().any(|e| e.milestone.kind() == kind);
+            }
+        }
+        self.inner.observe_milestones(round, milestones);
     }
 }
 

@@ -43,21 +43,25 @@ pub mod party;
 pub mod payload;
 pub mod simulator;
 pub mod stats;
+pub mod trace;
 
 pub use adversary::{
     Adversary, AdversaryCtx, FloodAdversary, NoAdversary, ProxyAdversary, SilentAdversary,
 };
 pub use combinators::{
-    sample_corruption, AbortAt, Compose, Equivocate, FloodBudget, TriggerPredicate, TriggerWhen,
-    Withhold,
+    sample_corruption, AbortAt, Compose, Equivocate, FloodBudget, FrameRewriter, TriggerPredicate,
+    TriggerWhen, Withhold,
 };
 pub use crs::CommonRandomString;
 pub use envelope::Envelope;
 pub use error::NetError;
-pub use party::{AbortReason, PartyCtx, PartyId, PartyLogic, Step};
+pub use party::{
+    AbortReason, Milestone, MilestoneEvent, MilestoneKind, PartyCtx, PartyId, PartyLogic, Step,
+};
 pub use payload::{Payload, PayloadAllocStats, PayloadBuilder};
 pub use simulator::{
     InlineDriver, PartyOutcome, PartyStep, PartyTask, RoundDriver, RoundReport, RunResult,
     SimConfig, Simulator,
 };
 pub use stats::CommStats;
+pub use trace::{TraceEvent, TraceLog};

@@ -95,6 +95,121 @@ impl fmt::Display for AbortReason {
     }
 }
 
+/// A typed protocol **phase marker** emitted by party logic (or synthesised
+/// by the simulator at termination).
+///
+/// The paper's protocols are phased — CRS draw, committee announcement,
+/// share distribution, verification, output/abort — but envelopes alone show
+/// none of that structure. Milestones make the phases first-class: protocols
+/// emit them through [`PartyCtx::milestone`], the simulator records them in
+/// the execution trace, and adversaries observe them (they model *public*
+/// protocol progress a rushing adversary legitimately knows), which is what
+/// protocol-aware triggers like
+/// [`TriggerWhen::at_milestone`](crate::TriggerWhen::at_milestone) arm on.
+///
+/// Milestones are out-of-band: emitting one sends no bytes and never changes
+/// [`CommStats`](crate::CommStats).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Milestone {
+    /// CRS-derived shared state (matrices, election coins) is in place; the
+    /// protocol proper begins.
+    CrsReady,
+    /// The party has settled its committee view (Algorithm 2 / 7 output).
+    CommitteeAnnounced,
+    /// The party has distributed its input shares / ciphertexts.
+    SharesDistributed,
+    /// The party has started a verification phase (echoes, pairwise
+    /// equality tests).
+    VerificationStart,
+    /// The party terminated with an output (synthesised by the simulator).
+    OutputDecided,
+    /// The party aborted (synthesised by the simulator from
+    /// [`Step::Abort`]).
+    Aborted {
+        /// Why the party aborted.
+        reason: AbortReason,
+    },
+}
+
+impl Milestone {
+    /// The payload-free kind of this milestone (what triggers match on).
+    pub fn kind(&self) -> MilestoneKind {
+        match self {
+            Milestone::CrsReady => MilestoneKind::CrsReady,
+            Milestone::CommitteeAnnounced => MilestoneKind::CommitteeAnnounced,
+            Milestone::SharesDistributed => MilestoneKind::SharesDistributed,
+            Milestone::VerificationStart => MilestoneKind::VerificationStart,
+            Milestone::OutputDecided => MilestoneKind::OutputDecided,
+            Milestone::Aborted { .. } => MilestoneKind::Aborted,
+        }
+    }
+}
+
+/// The payload-free taxonomy of [`Milestone`]s — `Copy`, `Ord`, nameable —
+/// used by triggers, scenario specs and trace digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MilestoneKind {
+    /// See [`Milestone::CrsReady`].
+    CrsReady,
+    /// See [`Milestone::CommitteeAnnounced`].
+    CommitteeAnnounced,
+    /// See [`Milestone::SharesDistributed`].
+    SharesDistributed,
+    /// See [`Milestone::VerificationStart`].
+    VerificationStart,
+    /// See [`Milestone::OutputDecided`].
+    OutputDecided,
+    /// See [`Milestone::Aborted`].
+    Aborted,
+}
+
+impl MilestoneKind {
+    /// Every kind, in phase order.
+    pub const ALL: [MilestoneKind; 6] = [
+        MilestoneKind::CrsReady,
+        MilestoneKind::CommitteeAnnounced,
+        MilestoneKind::SharesDistributed,
+        MilestoneKind::VerificationStart,
+        MilestoneKind::OutputDecided,
+        MilestoneKind::Aborted,
+    ];
+
+    /// Short stable name (used in labels and trace renderings).
+    pub fn name(self) -> &'static str {
+        match self {
+            MilestoneKind::CrsReady => "crs-ready",
+            MilestoneKind::CommitteeAnnounced => "committee-announced",
+            MilestoneKind::SharesDistributed => "shares-distributed",
+            MilestoneKind::VerificationStart => "verification-start",
+            MilestoneKind::OutputDecided => "output-decided",
+            MilestoneKind::Aborted => "aborted",
+        }
+    }
+
+    /// The inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<MilestoneKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for MilestoneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One milestone occurrence: which party reached which phase in which round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MilestoneEvent {
+    /// The round the milestone was emitted in.
+    pub round: usize,
+    /// The party that reached the phase.
+    pub party: PartyId,
+    /// The milestone itself.
+    pub milestone: Milestone,
+}
+
 /// The result of one round of a party's state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Step<O> {
@@ -140,6 +255,7 @@ pub struct PartyCtx {
     id: PartyId,
     n: usize,
     outgoing: Vec<Envelope>,
+    milestones: Vec<Milestone>,
 }
 
 impl PartyCtx {
@@ -149,6 +265,7 @@ impl PartyCtx {
             id,
             n,
             outgoing: Vec::new(),
+            milestones: Vec::new(),
         }
     }
 
@@ -210,6 +327,20 @@ impl PartyCtx {
     /// Drains the queued outgoing envelopes (used by the simulator).
     pub fn take_outgoing(&mut self) -> Vec<Envelope> {
         std::mem::take(&mut self.outgoing)
+    }
+
+    /// Emits a protocol phase [`Milestone`] for this round.
+    ///
+    /// Milestones are out-of-band markers: they send no bytes, charge
+    /// nothing to [`CommStats`](crate::CommStats), and are recorded in the
+    /// execution trace (and shown to the adversary) by the simulator.
+    pub fn milestone(&mut self, milestone: Milestone) {
+        self.milestones.push(milestone);
+    }
+
+    /// Drains the emitted milestones (used by the simulator).
+    pub fn take_milestones(&mut self) -> Vec<Milestone> {
+        std::mem::take(&mut self.milestones)
     }
 }
 

@@ -5,8 +5,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::adversary::{Adversary, AdversaryCtx};
 use crate::envelope::Envelope;
 use crate::error::NetError;
-use crate::party::{AbortReason, PartyCtx, PartyId, PartyLogic, Step};
+use crate::party::{AbortReason, Milestone, MilestoneEvent, PartyCtx, PartyId, PartyLogic, Step};
 use crate::stats::CommStats;
+use crate::trace::{TraceEvent, TraceLog};
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +73,10 @@ pub struct RunResult<O> {
     /// Largest number of envelopes queued for delivery at any single round
     /// boundary.
     pub peak_inbox_envelopes: u64,
+    /// The recorded execution trace, when tracing was enabled via
+    /// [`Simulator::record_trace`] (`None` otherwise). Deterministic across
+    /// round drivers, like everything else in the result.
+    pub trace: Option<TraceLog>,
 }
 
 impl<O: PartialEq + std::fmt::Debug> RunResult<O> {
@@ -165,6 +170,7 @@ impl<L: PartyLogic> PartyTask<'_, L> {
             id: self.id,
             step,
             outgoing: ctx.take_outgoing(),
+            milestones: ctx.take_milestones(),
         }
     }
 }
@@ -178,6 +184,8 @@ pub struct PartyStep<O> {
     pub step: Step<O>,
     /// Envelopes the party queued for delivery next round.
     pub outgoing: Vec<Envelope>,
+    /// Protocol phase milestones the party emitted this round.
+    pub milestones: Vec<Milestone>,
 }
 
 /// Executes the independent per-party tasks of one round.
@@ -247,6 +255,7 @@ pub struct Simulator<L: PartyLogic> {
     inboxes: BTreeMap<PartyId, Vec<Envelope>>,
     peak_inbox_bytes: u64,
     peak_inbox_envelopes: u64,
+    trace: Option<TraceLog>,
 }
 
 impl<L: PartyLogic> std::fmt::Debug for Simulator<L> {
@@ -315,7 +324,24 @@ impl<L: PartyLogic> Simulator<L> {
             inboxes: BTreeMap::new(),
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
+            trace: None,
         })
+    }
+
+    /// Enables execution tracing: every charged send, adversarial injection
+    /// and [`Milestone`] is appended to a [`TraceLog`] returned inside
+    /// [`RunResult::trace`]. Recording a send stores a shared
+    /// [`Payload`](crate::Payload) window (O(1)), never a copy, and the
+    /// event order follows the
+    /// deterministic round merge — traces are byte-identical across round
+    /// drivers and backends.
+    ///
+    /// Must be called before the first round is stepped (events of already
+    /// executed rounds are not reconstructed).
+    pub fn record_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(TraceLog::new());
+        }
     }
 
     /// Convenience constructor for all-honest executions.
@@ -411,6 +437,7 @@ impl<L: PartyLogic> Simulator<L> {
                 rounds: self.round,
                 peak_inbox_bytes: self.peak_inbox_bytes,
                 peak_inbox_envelopes: self.peak_inbox_envelopes,
+                trace: self.trace,
             })
         } else {
             Err(NetError::ExecutionIncomplete {
@@ -479,37 +506,77 @@ impl<L: PartyLogic> Simulator<L> {
         let bytes_before = self.stats.total_bytes();
         let mut newly_terminated = Vec::new();
         let mut next_inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
+        let mut round_milestones: Vec<MilestoneEvent> = Vec::new();
 
         steps.sort_by_key(|s| s.id);
         for party_step in steps {
             for envelope in party_step.outgoing {
                 self.stats
                     .record_send(envelope.from, envelope.to, envelope.payload_len());
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Send {
+                        round,
+                        from: envelope.from,
+                        to: envelope.to,
+                        payload: envelope.payload.clone(),
+                        injected: false,
+                    });
+                }
                 next_inboxes.entry(envelope.to).or_default().push(envelope);
             }
+            for milestone in party_step.milestones {
+                round_milestones.push(MilestoneEvent {
+                    round,
+                    party: party_step.id,
+                    milestone,
+                });
+            }
+            // Terminations synthesise their milestone, so the trace's
+            // `OutputDecided` / `Aborted { reason }` record is independent
+            // of the outcome plumbing downstream reports are built from.
             match party_step.step {
                 Step::Continue => {}
                 Step::Output(output) => {
+                    round_milestones.push(MilestoneEvent {
+                        round,
+                        party: party_step.id,
+                        milestone: Milestone::OutputDecided,
+                    });
                     self.outcomes
                         .insert(party_step.id, PartyOutcome::Output(output));
                     newly_terminated.push(party_step.id);
                 }
                 Step::Abort(reason) => {
+                    round_milestones.push(MilestoneEvent {
+                        round,
+                        party: party_step.id,
+                        milestone: Milestone::Aborted {
+                            reason: reason.clone(),
+                        },
+                    });
                     self.outcomes
                         .insert(party_step.id, PartyOutcome::Aborted(reason));
                     newly_terminated.push(party_step.id);
                 }
             }
         }
+        if let Some(trace) = &mut self.trace {
+            for event in &round_milestones {
+                trace.push(TraceEvent::Milestone(event.clone()));
+            }
+        }
 
         // The adversary sees everything delivered to corrupted parties this
-        // round and injects messages for next round.
+        // round — plus the round's milestones (public protocol progress a
+        // rushing adversary legitimately observes) — and injects messages
+        // for next round.
         let delivered_to_corrupted: BTreeMap<PartyId, Vec<Envelope>> = self
             .corrupted
             .iter()
             .map(|id| (*id, self.inboxes.remove(id).unwrap_or_default()))
             .collect();
         let mut adv_ctx = AdversaryCtx::new();
+        self.adversary.observe_milestones(round, &round_milestones);
         self.adversary
             .on_round(round, &delivered_to_corrupted, &mut adv_ctx);
         for envelope in adv_ctx.take_outgoing() {
@@ -524,6 +591,18 @@ impl<L: PartyLogic> Simulator<L> {
             if self.config.count_adversary_bytes {
                 self.stats
                     .record_send(envelope.from, envelope.to, envelope.payload_len());
+            }
+            if let Some(trace) = &mut self.trace {
+                // Injected sends are tagged distinctly, so the flooding
+                // rule's exclusion of junk from bytes and locality is
+                // recomputable from the trace alone.
+                trace.push(TraceEvent::Send {
+                    round,
+                    from: envelope.from,
+                    to: envelope.to,
+                    payload: envelope.payload.clone(),
+                    injected: true,
+                });
             }
             next_inboxes.entry(envelope.to).or_default().push(envelope);
         }

@@ -1,5 +1,6 @@
 //! The campaign CLI: run an adversarial-scenario campaign through the
-//! session pool and render the oracle's verdicts.
+//! session pool, render the oracle's verdicts, and record/replay execution
+//! traces.
 //!
 //! Usage:
 //!   cargo run -p mpca-scenario --release --bin campaign                 # standard campaign
@@ -7,24 +8,35 @@
 //!   cargo run -p mpca-scenario --release --bin campaign -- --sweep     # full cross-product sweep (150+ scenarios)
 //!   cargo run -p mpca-scenario --release --bin campaign -- --sweep --tiny   # sweep smoke plan (n ≤ 12)
 //!   cargo run -p mpca-scenario --release --bin campaign -- --seed 7 --workers 4 --backend parallel
+//!   cargo run -p mpca-scenario --release --bin campaign -- --sweep --tiny --record trace.json
+//!   cargo run -p mpca-scenario --release --bin campaign -- --replay trace.json --backend parallel
 //!   cargo run -p mpca-scenario --release --bin campaign -- --list
 //!
+//! Every run is **traced**: sessions record their full event stream, the
+//! oracle's identified-abort predicate runs behaviourally against the
+//! trace, and `--record <path>` writes the per-scenario trace digests to a
+//! replayable file. `--replay <path>` rebuilds the recorded campaign from
+//! the file's `(campaign, seed)` identity, re-executes it (on any backend —
+//! digests are backend-independent) and fails on any digest mismatch.
+//!
 //! Exit status is non-zero when any scenario's verdicts do not match its
-//! expectation — for the tiny plans (no controls) that means *any* oracle
-//! verdict of `Violated` fails the run, which is what the CI smoke steps
-//! rely on. Sweep runs narrate progress to stderr while the pool drains.
+//! expectation, or when a replay diverges from its recording — which is
+//! what the CI smoke steps rely on. Sweep runs narrate progress to stderr
+//! while the pool drains.
 
 use std::time::Instant;
 
 use mpca_engine::{Parallel, Sequential, SessionProgress};
 use mpca_scenario::{
-    standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign, Campaign, CampaignReport,
+    campaign_by_name, standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign,
+    Campaign, CampaignReport,
 };
+use mpca_trace::TraceFile;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--sweep] [--tiny] [--seed N] [--workers N] \
-         [--backend sequential|parallel] [--list]"
+         [--backend sequential|parallel] [--record PATH] [--replay PATH] [--list]"
     );
     std::process::exit(2);
 }
@@ -64,11 +76,11 @@ fn run_campaign(
 ) -> CampaignReport {
     let total = campaign.scenarios().len();
     let result = match (backend, progress) {
-        ("sequential", false) => campaign.run(Sequential, workers),
-        ("parallel", false) => campaign.run(Parallel::default(), workers),
-        ("sequential", true) => campaign.run_with_progress(Sequential, workers, narrate(total)),
+        ("sequential", false) => campaign.run_traced(Sequential, workers),
+        ("parallel", false) => campaign.run_traced(Parallel::default(), workers),
+        ("sequential", true) => campaign.run_configured(Sequential, workers, true, narrate(total)),
         ("parallel", true) => {
-            campaign.run_with_progress(Parallel::default(), workers, narrate(total))
+            campaign.run_configured(Parallel::default(), workers, true, narrate(total))
         }
         _ => usage(),
     };
@@ -106,8 +118,78 @@ fn main() {
         Some(pos) => parse(&mut args, pos),
         None => "sequential".into(),
     };
+    let record: Option<String> = args
+        .iter()
+        .position(|a| a == "--record")
+        .map(|pos| parse(&mut args, pos));
+    let replay: Option<String> = args
+        .iter()
+        .position(|a| a == "--replay")
+        .map(|pos| parse(&mut args, pos));
     if !args.is_empty() {
         usage();
+    }
+
+    // Replay path: the recorded file names the campaign and seed; the
+    // command-line campaign/seed flags are ignored (backend and workers
+    // still apply — trace digests are backend-independent by contract).
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let recorded = TraceFile::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        });
+        let campaign = campaign_by_name(&recorded.campaign, recorded.seed).unwrap_or_else(|| {
+            eprintln!("unknown recorded campaign '{}'", recorded.campaign);
+            std::process::exit(1);
+        });
+        eprintln!(
+            "replaying campaign '{}' (seed {}, {} recorded sessions, {backend} backend)",
+            recorded.campaign,
+            recorded.seed,
+            recorded.sessions.len(),
+        );
+        let report = run_campaign(&campaign, &backend, workers, sweep);
+        let mismatches = recorded.compare(report.trace_summaries());
+        if mismatches.is_empty() {
+            eprintln!(
+                "replay clean: {} trace digests identical to the recording",
+                recorded.sessions.len()
+            );
+        } else {
+            for mismatch in &mismatches {
+                eprintln!("TRACE MISMATCH {mismatch}");
+            }
+            std::process::exit(1);
+        }
+        if !report.all_as_expected() {
+            eprintln!("replay verdicts diverge from expectations");
+            std::process::exit(1);
+        }
+        // `--replay X --record Y` re-records the replayed execution (e.g.
+        // to migrate a trace file), rather than silently ignoring the flag.
+        if let Some(path) = record {
+            let file = TraceFile::new(
+                recorded.campaign.clone(),
+                recorded.seed,
+                report.backend,
+                report.trace_summaries(),
+            );
+            match std::fs::write(&path, file.render()) {
+                Ok(()) => eprintln!(
+                    "re-recorded {} trace digests to {path}",
+                    file.sessions.len()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
     }
 
     let campaign = match (sweep, tiny) {
@@ -132,6 +214,22 @@ fn main() {
     let report = run_campaign(&campaign, &backend, workers, sweep);
     println!("{}", report.render());
     println!("{}", report.summary());
+
+    if let Some(path) = record {
+        let file = TraceFile::new(
+            campaign.name.clone(),
+            seed,
+            report.backend,
+            report.trace_summaries(),
+        );
+        match std::fs::write(&path, file.render()) {
+            Ok(()) => eprintln!("recorded {} trace digests to {path}", file.sessions.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if !report.all_as_expected() {
         for outcome in report.unexpected() {

@@ -60,8 +60,8 @@ pub mod spec;
 
 pub use oracle::{Oracle, Property, PropertyCheck, ScenarioOutcome, Verdict};
 pub use plan::{
-    standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign, Campaign, Expectation,
-    Scenario, ScenarioPlan,
+    campaign_by_name, standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign,
+    Campaign, Expectation, Scenario, ScenarioPlan,
 };
 pub use report::CampaignReport;
 pub use spec::{AdversarySpec, CorruptionSpec, TriggerSpec};

@@ -11,11 +11,14 @@
 //! 2. [`IdentifiedAbort`](Property::IdentifiedAbort) — every honest party
 //!    either produced an output or aborted with a recorded, consistent
 //!    [`AbortReason`](mpca_net::AbortReason): aborts are diagnosable, never
-//!    anonymous. Note the scope honestly: the engine currently derives
-//!    both outcome digests and structured reasons from the same simulator
-//!    record, so for engine-produced reports this predicate guards the
-//!    report-construction plumbing (it fires if a future `SessionReport`
-//!    source drops or mislabels reasons) rather than protocol behaviour.
+//!    anonymous. For **traced** sessions the predicate is *behavioural*:
+//!    the reasons are cross-checked against the execution trace's
+//!    `Aborted { reason }` milestones, which the simulator synthesises on
+//!    the termination step itself — a recording path independent of the
+//!    report's outcome plumbing, so agreement between the two witnesses the
+//!    protocol's actual abort behaviour. Untraced sessions fall back to the
+//!    historical plumbing check (digest/reason consistency within the
+//!    report alone).
 //! 3. [`FloodingRule`](Property::FloodingRule) — adversarial traffic is
 //!    never charged to the protocol's communication statistics (§3.1's
 //!    flooding rule: junk can force an abort but cannot inflate the
@@ -155,6 +158,21 @@ impl ScenarioOutcome {
             Expectation::Holds => self.holds(),
             Expectation::ViolatesAgreement => violates_only(Property::AgreementOrAbort),
             Expectation::ViolatesFloodingRule => violates_only(Property::FloodingRule),
+            Expectation::DetectsEquivocation => {
+                use mpca_net::AbortReason;
+                let detected = self.report.abort_reasons.values().any(|r| {
+                    matches!(
+                        r,
+                        AbortReason::Equivocation(_) | AbortReason::EqualityTestFailed(_)
+                    )
+                });
+                let parse_failure = self
+                    .report
+                    .abort_reasons
+                    .values()
+                    .any(|r| matches!(r, AbortReason::Malformed(_)));
+                self.holds() && detected && !parse_failure
+            }
         }
     }
 
@@ -240,6 +258,7 @@ fn charged_honest_bits(report: &SessionReport) -> u64 {
 ///     rounds: 2,
 ///     peak_inbox_bytes: 0,
 ///     peak_inbox_envelopes: 0,
+///     trace: None,
 ///     wall: Duration::ZERO,
 /// };
 /// let outcome = Oracle::new().evaluate(scenario, report);
@@ -312,6 +331,62 @@ fn check_agreement(report: &SessionReport) -> PropertyCheck {
 }
 
 fn check_identified_abort(report: &SessionReport) -> PropertyCheck {
+    // Behavioural mode: a traced session carries the abort reasons the
+    // simulator synthesised into the trace at the termination step —
+    // derive the verdict from those, independently of the report's
+    // digest/reason plumbing, and require the two sources to agree.
+    if let Some(trace) = &report.trace {
+        for (id, digest) in &report.outcomes {
+            match digest {
+                OutcomeDigest::Aborted(rendered) => match trace.aborts.get(id) {
+                    Some(reason) if reason.to_string() == *rendered => {}
+                    Some(_) => {
+                        return PropertyCheck {
+                            property: Property::IdentifiedAbort,
+                            verdict: Verdict::Violated,
+                            details: format!("party {id}'s trace milestone contradicts its digest"),
+                        }
+                    }
+                    None => {
+                        return PropertyCheck {
+                            property: Property::IdentifiedAbort,
+                            verdict: Verdict::Violated,
+                            details: format!(
+                                "party {id} aborted without an Aborted milestone in the trace"
+                            ),
+                        }
+                    }
+                },
+                OutcomeDigest::Output(_) => {
+                    if trace.aborts.contains_key(id) {
+                        return PropertyCheck {
+                            property: Property::IdentifiedAbort,
+                            verdict: Verdict::Violated,
+                            details: format!(
+                                "party {id} output a value yet the trace records an abort"
+                            ),
+                        };
+                    }
+                }
+            }
+        }
+        if trace.aborts != report.abort_reasons {
+            return PropertyCheck {
+                property: Property::IdentifiedAbort,
+                verdict: Verdict::Violated,
+                details: "trace-derived abort reasons diverge from the report's".into(),
+            };
+        }
+        return PropertyCheck {
+            property: Property::IdentifiedAbort,
+            verdict: Verdict::Holds,
+            details: format!(
+                "{} aborts, each matching an Aborted{{reason}} trace milestone",
+                trace.aborts.len()
+            ),
+        };
+    }
+    // Untraced fallback: internal consistency of the report alone.
     for (id, digest) in &report.outcomes {
         match digest {
             OutcomeDigest::Aborted(rendered) => match report.abort_reasons.get(id) {
@@ -437,6 +512,7 @@ mod tests {
             rounds: 2,
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
+            trace: None,
             wall: Duration::ZERO,
         }
     }

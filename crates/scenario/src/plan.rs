@@ -43,6 +43,13 @@ pub enum Expectation {
     /// only expressible by a scenario that deliberately charges adversary
     /// bytes via [`ScenarioPlan::charging_adversary_bytes`]).
     ViolatesFloodingRule,
+    /// Every property must hold **and** the protocol must have *caught* the
+    /// attack: at least one honest party aborts with a detection reason
+    /// (`Equivocation` / `EqualityTestFailed`), and no honest party aborts
+    /// with a parse failure (`Malformed`). The expectation for
+    /// framing-aware equivocation against a detecting protocol — the
+    /// attack must be flagged as an identified abort, not a parse error.
+    DetectsEquivocation,
 }
 
 /// A declarative plan: one protocol, one adversary class, an `(n, h)` grid.
@@ -280,7 +287,20 @@ impl Campaign {
         backend: B,
         workers: usize,
     ) -> Result<CampaignReport, NetError> {
-        self.run_with_progress(backend, workers, |_| {})
+        self.run_configured(backend, workers, false, |_| {})
+    }
+
+    /// [`run`](Self::run) with execution **tracing** enabled: every
+    /// session's [`SessionReport`](mpca_engine::SessionReport) carries a
+    /// trace summary (canonical digest + trace-derived abort reasons), the
+    /// oracle's identified-abort predicate becomes behavioural, and the
+    /// digests feed `campaign --record` / `--replay`.
+    pub fn run_traced<B: ExecutionBackend>(
+        &self,
+        backend: B,
+        workers: usize,
+    ) -> Result<CampaignReport, NetError> {
+        self.run_configured(backend, workers, true, |_| {})
     }
 
     /// [`run`](Self::run) with a per-session progress observer (see
@@ -296,9 +316,25 @@ impl Campaign {
         B: ExecutionBackend,
         F: Fn(mpca_engine::SessionProgress) + Send + Sync + 'static,
     {
+        self.run_configured(backend, workers, false, progress)
+    }
+
+    /// The fully configured run: backend, workers, tracing, progress.
+    pub fn run_configured<B, F>(
+        &self,
+        backend: B,
+        workers: usize,
+        traced: bool,
+        progress: F,
+    ) -> Result<CampaignReport, NetError>
+    where
+        B: ExecutionBackend,
+        F: Fn(mpca_engine::SessionProgress) + Send + Sync + 'static,
+    {
         let scenarios = self.scenarios();
         let mut pool = SessionPool::new(backend)
             .with_workers(workers)
+            .with_tracing(traced)
             .with_progress(progress);
         for scenario in &scenarios {
             registry::submit_scenario(&mut pool, scenario);
@@ -608,6 +644,73 @@ fn build_sweep(seed: u64, tiny: bool) -> Campaign {
             );
         }
     }
+    // Trace-plane scenarios (both sweep sizes, n ≤ 12 so the tiny slice and
+    // CI replay runs carry them too):
+    //
+    // Framing-aware equivocation against checked MPC: party 0's encrypted
+    // input is field-tampered (ciphertext word `c2.0` of the `mpc:input-ct`
+    // frame) towards victim committee members — the copy still parses, so
+    // the committee's pairwise equality test, not the parser, must catch
+    // the split view and answer with an identified abort.
+    campaign = campaign
+        .plan(
+            ScenarioPlan::new(
+                "swptr-eqframe-t1",
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::EquivocateFrame {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    victims: vec![1, 2, 3],
+                    tag: "mpc:input-ct".into(),
+                    field: "c2.0".into(),
+                },
+            )
+            .with_grid([(12, 6)])
+            .with_seed(seed)
+            .expecting(Expectation::DetectsEquivocation),
+        )
+        // …the same class of attack against the Theorem 4 trade-off family
+        // (shares the MpcMsg framing, different communication pattern):
+        // here the *output* frame is field-tampered towards a wide victim
+        // set. At (12, 6) the local election probability clamps to 1, so
+        // party 0 is always a member whose 5-party cover necessarily
+        // intersects the victims — the output consistency check must flag
+        // the split with an Equivocation abort, whatever the seed.
+        .plan(
+            ScenarioPlan::new(
+                "swptr-eqframe-t4",
+                ProtocolKind::Theorem4Tradeoff,
+                AdversarySpec::EquivocateFrame {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    victims: (1..=8).collect(),
+                    tag: "mpc:output".into(),
+                    field: "output".into(),
+                },
+            )
+            .with_grid([(12, 6)])
+            .with_seed(seed)
+            .expecting(Expectation::DetectsEquivocation),
+        )
+        // …and a protocol-aware trigger: a flood that stays dormant until
+        // the committee announcement milestone, whatever round that lands
+        // on. Honest parties abort on the junk (allowed) and the junk is
+        // never charged.
+        .plan(
+            ScenarioPlan::new(
+                "swptr-mstone",
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::Triggered {
+                    base: Box::new(AdversarySpec::Flood {
+                        corrupt: CorruptionSpec::Explicit(vec![0]),
+                        victims: vec![],
+                        junk_bytes: 1024,
+                        round_budget: Some(2),
+                    }),
+                    trigger: TriggerSpec::AtMilestone(mpca_net::MilestoneKind::CommitteeAnnounced),
+                },
+            )
+            .with_grid([(12, 6)])
+            .with_seed(seed),
+        );
     if !tiny {
         // The rigged controls ride the sweep too, so the oracle stays under
         // test at scale: a charged flood (flooding rule) and an equivocated
@@ -657,11 +760,26 @@ pub fn sweep_campaign(seed: u64) -> Campaign {
     build_sweep(seed, false)
 }
 
-/// The sweep restricted to its `n ≤ 12` grid points and no controls: the
-/// same cross-product shape at CI-smoke cost (`campaign --sweep --tiny`,
-/// seconds not minutes). Every verdict must be `Holds`.
+/// The sweep restricted to its `n ≤ 12` grid points and no violation
+/// controls: the same cross-product shape at CI-smoke cost
+/// (`campaign --sweep --tiny`, seconds not minutes). Every property must
+/// hold everywhere.
 pub fn tiny_sweep_campaign(seed: u64) -> Campaign {
     build_sweep(seed, true)
+}
+
+/// Resolves a standing campaign by the name its constructor gives it —
+/// the inverse `campaign --replay` uses to re-execute a recorded schedule
+/// from a [`TraceFile`](mpca_trace::TraceFile)'s `(campaign, seed)`
+/// identity.
+pub fn campaign_by_name(name: &str, seed: u64) -> Option<Campaign> {
+    match name {
+        "standard" => Some(standard_campaign(seed)),
+        "tiny" => Some(tiny_campaign(seed)),
+        "sweep" => Some(sweep_campaign(seed)),
+        "sweep-tiny" => Some(tiny_sweep_campaign(seed)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -723,6 +841,20 @@ mod tests {
             "the sweep must cover >= 100 scenarios, got {}",
             scenarios.len()
         );
+        // The trace-plane scenarios ride every sweep: framing-aware
+        // equivocation against both checked MPC families and a
+        // milestone-triggered flood.
+        assert_eq!(
+            scenarios
+                .iter()
+                .filter(|s| s.expectation == Expectation::DetectsEquivocation)
+                .count(),
+            2,
+            "both checked MPC families carry a framing-aware equivocation"
+        );
+        assert!(scenarios
+            .iter()
+            .any(|s| s.adversary.name().contains("m-committee-announced")));
         let labels: std::collections::BTreeSet<&str> =
             scenarios.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels.len(), scenarios.len(), "labels must be unique");
@@ -740,10 +872,13 @@ mod tests {
         assert_eq!(
             scenarios
                 .iter()
-                .filter(|s| s.expectation != Expectation::Holds)
+                .filter(|s| matches!(
+                    s.expectation,
+                    Expectation::ViolatesAgreement | Expectation::ViolatesFloodingRule
+                ))
                 .count(),
             2,
-            "exactly the two rigged controls deviate from Holds"
+            "exactly the two rigged controls expect a violation"
         );
         // Every scenario's corruption respects its honest-majority margin
         // (ScenarioPlan::scenarios asserts this; spelled out here to pin
@@ -759,11 +894,15 @@ mod tests {
         let scenarios = campaign.scenarios();
         assert!(scenarios.len() >= 30, "got {}", scenarios.len());
         assert!(scenarios.iter().all(|s| s.n <= 12));
-        assert!(scenarios
-            .iter()
-            .all(|s| s.expectation == Expectation::Holds));
+        // No violation controls in the tiny slice — every property must
+        // hold everywhere (the framing-aware equivocations additionally
+        // require a detection abort, which is still a clean run).
+        assert!(scenarios.iter().all(|s| matches!(
+            s.expectation,
+            Expectation::Holds | Expectation::DetectsEquivocation
+        )));
         let report = campaign
-            .run(mpca_engine::Sequential, 2)
+            .run_traced(mpca_engine::Sequential, 2)
             .expect("tiny sweep executes");
         assert!(
             report.all_as_expected(),

@@ -12,13 +12,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use mpca_core::{all_to_all, broadcast, local_mpc, mpc, tradeoff, unchecked, ProtocolKind};
+use mpca_core::{
+    all_to_all, broadcast, local_mpc, mpc, tradeoff, unchecked, FrameSchema, ProtocolKind,
+};
 use mpca_encfunc::Functionality;
 use mpca_engine::{ExecutionBackend, SessionPool};
 use mpca_net::{
     AbortAt, Adversary, CommonRandomString, Compose, Envelope, Equivocate, FloodBudget, NetError,
-    NoAdversary, PartyId, PartyLogic, ProxyAdversary, SilentAdversary, SimConfig, Simulator,
-    TriggerWhen, Withhold,
+    NoAdversary, PartyId, PartyLogic, Payload, ProxyAdversary, SilentAdversary, SimConfig,
+    Simulator, TriggerWhen, Withhold,
 };
 
 use crate::plan::Scenario;
@@ -162,6 +164,7 @@ where
         n: scenario.n,
         seed: scenario.seed,
         label: &scenario.label,
+        kind: scenario.kind,
         all_corrupted: &corrupted,
     };
     let adversary = compile_adversary(&scenario.adversary, &ctx, &corrupted, corrupt_logic);
@@ -204,6 +207,9 @@ struct CompileCtx<'a> {
     n: usize,
     seed: u64,
     label: &'a str,
+    /// The protocol family — frame-aware specs compile the family's
+    /// [`FrameSchema`] from it.
+    kind: ProtocolKind,
     /// The scenario's full corruption set — inside a [`AdversarySpec::Both`]
     /// side this is wider than the side's own set, so a flood's defaulted
     /// victim list never targets the other side's corrupted parties.
@@ -257,6 +263,43 @@ where
             Box::new(ProxyAdversary::honest(corrupt_logic, n)),
             to_ids(victims, n),
         )),
+        AdversarySpec::EquivocateFrame {
+            victims,
+            tag,
+            field,
+            ..
+        } => {
+            // The rewriter tampers exactly `field` inside frames matching
+            // `tag` under this protocol's schema; everything else passes
+            // through true — a tampered copy always re-parses, so the
+            // attack reaches verification, never the parser.
+            let schema = FrameSchema::new(ctx.kind);
+            let tag = tag.clone();
+            let field = field.clone();
+            Box::new(Equivocate::with_rewriter(
+                Box::new(ProxyAdversary::honest(corrupt_logic, n)),
+                to_ids(victims, n),
+                move |envelope: &Envelope| {
+                    schema
+                        .tamper(&envelope.payload, &tag, &field)
+                        .map(Payload::from_vec)
+                },
+            ))
+        }
+        AdversarySpec::Triggered {
+            base,
+            trigger: TriggerSpec::AtMilestone(kind),
+        } => {
+            let wrapped = TriggerWhen::at_milestone(
+                compile_adversary(base, ctx, corrupted, corrupt_logic),
+                *kind,
+            );
+            Box::new(if base.needs_proxy_logic() {
+                wrapped
+            } else {
+                wrapped.without_dormant_observation()
+            })
+        }
         AdversarySpec::Triggered { base, trigger } => {
             let wrapped = TriggerWhen::new(
                 compile_adversary(base, ctx, corrupted, corrupt_logic),
@@ -288,7 +331,9 @@ where
     }
 }
 
-/// Compiles a trigger spec into a live delivered-message predicate.
+/// Compiles a trigger spec into a live delivered-message predicate
+/// ([`TriggerSpec::AtMilestone`] compiles through
+/// [`TriggerWhen::at_milestone`] instead and never reaches this function).
 fn compile_trigger(
     trigger: &TriggerSpec,
 ) -> impl FnMut(usize, &BTreeMap<PartyId, Vec<Envelope>>) -> bool + Send + 'static {
@@ -305,6 +350,9 @@ fn compile_trigger(
             delivered_bytes >= *threshold
         }
         TriggerSpec::MessageFrom(p) => delivered.values().flatten().any(|e| e.from == PartyId(*p)),
+        TriggerSpec::AtMilestone(_) => {
+            unreachable!("AtMilestone compiles through TriggerWhen::at_milestone")
+        }
     }
 }
 

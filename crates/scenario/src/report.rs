@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use mpca_trace::TraceSummary;
+
 use crate::oracle::ScenarioOutcome;
 
 /// The result of running a [`Campaign`](crate::Campaign): one evaluated
@@ -68,6 +70,23 @@ impl CampaignReport {
     /// `true` when every scenario's verdicts match its expectation.
     pub fn all_as_expected(&self) -> bool {
         self.outcomes.iter().all(ScenarioOutcome::as_expected)
+    }
+
+    /// The per-scenario trace summaries of a traced campaign run
+    /// ([`Campaign::run_traced`](crate::Campaign::run_traced)), in
+    /// submission order — what `campaign --record` writes into a
+    /// [`TraceFile`](mpca_trace::TraceFile) and `--replay` compares.
+    /// Empty when the campaign ran untraced.
+    pub fn trace_summaries(&self) -> Vec<(String, TraceSummary)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| {
+                o.report
+                    .trace
+                    .clone()
+                    .map(|summary| (o.scenario.label.clone(), summary))
+            })
+            .collect()
     }
 
     /// A stable, backend-independent digest of every verdict — one line per

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use mpca_net::{sample_corruption, PartyId};
+use mpca_net::{sample_corruption, MilestoneKind, PartyId};
 
 /// Which parties the adversary corrupts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +71,13 @@ pub enum TriggerSpec {
     BytesDelivered(u64),
     /// Activates when any corrupted party hears from this party index.
     MessageFrom(usize),
+    /// Activates when any honest party emits a milestone of this kind — the
+    /// **protocol-aware** trigger ("attack after the committee
+    /// announcement"), compiled into
+    /// [`TriggerWhen::at_milestone`](mpca_net::TriggerWhen::at_milestone).
+    /// Fires on protocol phase, not round numbers, so one spec works across
+    /// families with different round structures.
+    AtMilestone(MilestoneKind),
 }
 
 impl TriggerSpec {
@@ -80,6 +87,7 @@ impl TriggerSpec {
             TriggerSpec::AtRound(r) => format!("r{r}"),
             TriggerSpec::BytesDelivered(b) => format!("b{b}"),
             TriggerSpec::MessageFrom(p) => format!("from{p}"),
+            TriggerSpec::AtMilestone(kind) => format!("m-{}", kind.name()),
         }
     }
 }
@@ -139,6 +147,25 @@ pub enum AdversarySpec {
         /// Victim indices receiving tampered copies.
         victims: Vec<usize>,
     },
+    /// **Framing-aware** equivocation: honest via proxy, except envelopes
+    /// to the victims whose payload frames as `tag` (under the scenario
+    /// protocol's [`FrameSchema`](mpca_core::FrameSchema)) get exactly the
+    /// named `field` rewritten and re-encoded. The tampered copy still
+    /// parses, so a detecting protocol must answer with an *identified*
+    /// abort (equivocation / equality-test failure), never a parse error —
+    /// this is the spec that finally equivocates against `MpcParty` /
+    /// `TradeoffParty` verification instead of their parsers.
+    EquivocateFrame {
+        /// Who is corrupted.
+        corrupt: CorruptionSpec,
+        /// Victim indices receiving tampered copies.
+        victims: Vec<usize>,
+        /// The frame tag to tamper (e.g. `mpc:input-ct`); other frames pass
+        /// through untouched.
+        tag: String,
+        /// The mutable field inside the frame (e.g. `c2.0`).
+        field: String,
+    },
     /// A base adversary that stays dormant until a trigger fires (adaptive
     /// activation inside the static-corruption model).
     Triggered {
@@ -175,7 +202,8 @@ impl AdversarySpec {
             | AdversarySpec::Flood { corrupt, .. }
             | AdversarySpec::AbortAt { corrupt, .. }
             | AdversarySpec::Withhold { corrupt, .. }
-            | AdversarySpec::Equivocate { corrupt, .. } => corrupt,
+            | AdversarySpec::Equivocate { corrupt, .. }
+            | AdversarySpec::EquivocateFrame { corrupt, .. } => corrupt,
             AdversarySpec::Triggered { .. } | AdversarySpec::Both { .. } => {
                 unreachable!("composite specs resolve through their children")
             }
@@ -273,7 +301,8 @@ impl AdversarySpec {
             AdversarySpec::HonestProxy { .. }
             | AdversarySpec::AbortAt { .. }
             | AdversarySpec::Withhold { .. }
-            | AdversarySpec::Equivocate { .. } => true,
+            | AdversarySpec::Equivocate { .. }
+            | AdversarySpec::EquivocateFrame { .. } => true,
             AdversarySpec::Triggered { base, .. } => base.needs_proxy_logic(),
             AdversarySpec::Both { a, b } => a.needs_proxy_logic() || b.needs_proxy_logic(),
         }
@@ -289,6 +318,9 @@ impl AdversarySpec {
             AdversarySpec::AbortAt { round, .. } => format!("abort-at-{round}"),
             AdversarySpec::Withhold { .. } => "withhold".into(),
             AdversarySpec::Equivocate { .. } => "equivocate".into(),
+            AdversarySpec::EquivocateFrame { tag, field, .. } => {
+                format!("equivocate-frame-{tag}-{field}")
+            }
             AdversarySpec::Triggered { base, trigger } => {
                 format!("{}@{}", base.name(), trigger.name())
             }

@@ -1,0 +1,266 @@
+//! The `campaign --record` / `--replay` artefact: per-scenario trace
+//! digests plus the campaign identity needed to re-execute the schedule.
+//!
+//! The format is the workspace's line-oriented JSON (one header line, one
+//! line per session), written and parsed with the shared
+//! [`mpca_wire::linejson`] scanners the golden fixtures use — diffable,
+//! greppable, stable.
+
+use mpca_wire::linejson::{escape_str, field_str, field_u64};
+
+use crate::summary::TraceSummary;
+
+/// One recorded session: its label and trace digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The scenario/session label (unique within a campaign).
+    pub label: String,
+    /// Canonical trace digest (see [`digest_hex`](crate::digest_hex)).
+    pub digest: String,
+    /// Total recorded events.
+    pub events: u64,
+    /// Milestone events among them.
+    pub milestones: u64,
+}
+
+/// A recorded campaign trace: the identity to re-execute it (campaign name
+/// and seed) plus one [`TraceRecord`] per scenario in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// The campaign name (`standard`, `tiny`, `sweep`, `sweep-tiny`) —
+    /// replay rebuilds the schedule from it.
+    pub campaign: String,
+    /// The campaign seed.
+    pub seed: u64,
+    /// The backend that recorded the trace (informational: digests are
+    /// backend-independent, and replay may use any backend).
+    pub backend: String,
+    /// Per-session records, in submission order.
+    pub sessions: Vec<TraceRecord>,
+}
+
+/// One digest disagreement between a recorded trace and its replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayMismatch {
+    /// The session label.
+    pub label: String,
+    /// What the file recorded (`None`: the session is new in the replay).
+    pub recorded: Option<String>,
+    /// What the replay produced (`None`: the session vanished).
+    pub replayed: Option<String>,
+}
+
+impl std::fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: recorded {} vs replayed {}",
+            self.label,
+            self.recorded.as_deref().unwrap_or("<absent>"),
+            self.replayed.as_deref().unwrap_or("<absent>"),
+        )
+    }
+}
+
+impl TraceFile {
+    /// Assembles a file from per-session summaries, in submission order.
+    pub fn new(
+        campaign: impl Into<String>,
+        seed: u64,
+        backend: impl Into<String>,
+        sessions: impl IntoIterator<Item = (String, TraceSummary)>,
+    ) -> Self {
+        Self {
+            campaign: campaign.into(),
+            seed,
+            backend: backend.into(),
+            sessions: sessions
+                .into_iter()
+                .map(|(label, summary)| TraceRecord {
+                    label,
+                    digest: summary.digest,
+                    events: summary.events,
+                    milestones: summary.milestones,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the line-oriented JSON document.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"mpc-aborts/campaign-trace/v1\",\"campaign\":\"{}\",\
+             \"seed\":{},\"backend\":\"{}\",\"sessions\":{}}}\n",
+            escape_str(&self.campaign),
+            self.seed,
+            escape_str(&self.backend),
+            self.sessions.len(),
+        );
+        for record in &self.sessions {
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"digest\":\"{}\",\"events\":{},\"milestones\":{}}}\n",
+                escape_str(&record.label),
+                escape_str(&record.digest),
+                record.events,
+                record.milestones,
+            ));
+        }
+        out
+    }
+
+    /// Parses a rendered document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty trace file")?;
+        if field_str(header, "schema").as_deref() != Some("mpc-aborts/campaign-trace/v1") {
+            return Err("missing or unsupported schema header".into());
+        }
+        let campaign = field_str(header, "campaign").ok_or("header lacks a campaign name")?;
+        let seed = field_u64(header, "seed").ok_or("header lacks a seed")?;
+        let backend = field_str(header, "backend").unwrap_or_else(|| "unknown".into());
+        let mut sessions = Vec::new();
+        for line in lines {
+            let label = field_str(line, "label")
+                .ok_or_else(|| format!("session line lacks a label: {line}"))?;
+            let digest = field_str(line, "digest")
+                .ok_or_else(|| format!("session line lacks a digest: {line}"))?;
+            sessions.push(TraceRecord {
+                label,
+                digest,
+                events: field_u64(line, "events").unwrap_or(0),
+                milestones: field_u64(line, "milestones").unwrap_or(0),
+            });
+        }
+        Ok(Self {
+            campaign,
+            seed,
+            backend,
+            sessions,
+        })
+    }
+
+    /// Compares this recording against a replay's per-session summaries;
+    /// an empty result is the replay pass condition. Labels present on only
+    /// one side are mismatches too — a replay must reproduce the *schedule*,
+    /// not just the digests it happens to share.
+    pub fn compare(
+        &self,
+        replayed: impl IntoIterator<Item = (String, TraceSummary)>,
+    ) -> Vec<ReplayMismatch> {
+        let mut mismatches = Vec::new();
+        let replayed: Vec<(String, TraceSummary)> = replayed.into_iter().collect();
+        for record in &self.sessions {
+            match replayed.iter().find(|(label, _)| *label == record.label) {
+                Some((_, summary)) if summary.digest == record.digest => {}
+                Some((_, summary)) => mismatches.push(ReplayMismatch {
+                    label: record.label.clone(),
+                    recorded: Some(record.digest.clone()),
+                    replayed: Some(summary.digest.clone()),
+                }),
+                None => mismatches.push(ReplayMismatch {
+                    label: record.label.clone(),
+                    recorded: Some(record.digest.clone()),
+                    replayed: None,
+                }),
+            }
+        }
+        for (label, summary) in &replayed {
+            if !self.sessions.iter().any(|r| r.label == *label) {
+                mismatches.push(ReplayMismatch {
+                    label: label.clone(),
+                    recorded: None,
+                    replayed: Some(summary.digest.clone()),
+                });
+            }
+        }
+        mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn summary(digest: &str, events: u64) -> TraceSummary {
+        TraceSummary {
+            digest: digest.into(),
+            events,
+            milestones: events / 2,
+            injected_sends: 0,
+            aborts: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let file = TraceFile::new(
+            "sweep-tiny",
+            7,
+            "sequential",
+            vec![
+                ("a-n8".to_string(), summary("aa11", 10)),
+                ("b-n12".to_string(), summary("bb22", 4)),
+            ],
+        );
+        let text = file.render();
+        let back = TraceFile::parse(&text).unwrap();
+        assert_eq!(back, file);
+        assert_eq!(back.sessions[0].milestones, 5);
+    }
+
+    #[test]
+    fn escaped_labels_round_trip() {
+        let file = TraceFile::new(
+            "tiny \"quoted\"",
+            1,
+            "seq\\uential",
+            vec![("label \"x\"\\y".to_string(), summary("dd", 2))],
+        );
+        let back = TraceFile::parse(&file.render()).unwrap();
+        assert_eq!(back, file);
+        assert_eq!(back.sessions[0].label, "label \"x\"\\y");
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(TraceFile::parse("").is_err());
+        assert!(TraceFile::parse("{\"schema\":\"wrong\"}\n").is_err());
+        assert!(TraceFile::parse(
+            "{\"schema\":\"mpc-aborts/campaign-trace/v1\",\"campaign\":\"x\",\"seed\":0}\n\
+             {\"label\":\"a\"}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compare_flags_digest_and_schedule_divergence() {
+        let file = TraceFile::new(
+            "tiny",
+            0,
+            "sequential",
+            vec![
+                ("a".to_string(), summary("aa", 1)),
+                ("gone".to_string(), summary("cc", 1)),
+            ],
+        );
+        // Identical replay: clean.
+        assert!(file
+            .compare(vec![
+                ("a".to_string(), summary("aa", 1)),
+                ("gone".to_string(), summary("cc", 1)),
+            ])
+            .is_empty());
+        // Digest drift + vanished session + new session: three mismatches.
+        let mismatches = file.compare(vec![
+            ("a".to_string(), summary("XX", 1)),
+            ("new".to_string(), summary("dd", 1)),
+        ]);
+        assert_eq!(mismatches.len(), 3);
+        assert!(mismatches[0].to_string().contains("recorded aa"));
+    }
+}

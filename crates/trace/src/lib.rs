@@ -1,0 +1,40 @@
+//! # mpca-trace
+//!
+//! The **trace plane**: structured execution traces for the protocol
+//! simulator — digests, frame tagging, and deterministic record/replay.
+//!
+//! The `mpca-net` simulator records a raw zero-copy event stream
+//! ([`TraceLog`](mpca_net::TraceLog)): every charged send, every
+//! adversarial injection (tagged distinctly), and every protocol
+//! [`Milestone`](mpca_net::Milestone). This crate is everything built *on*
+//! that stream:
+//!
+//! * [`TraceSummary`] — a backend-independent digest of one session's
+//!   trace (a 128-bit event fold with payload buffers memoized per shared
+//!   window, sealed with SHA-256 — see [`digest_hex`]) plus counters and
+//!   the trace-derived abort reasons. The engine embeds it in every traced
+//!   `SessionReport`, **inside the parallel == sequential equality
+//!   contract** — so backend equivalence now covers the entire event
+//!   stream, not just its aggregates.
+//! * [`TaggedTrace`] — the human-facing view: every send annotated with
+//!   the frame tag its payload decodes to under the protocol family's
+//!   [`FrameSchema`](mpca_core::FrameSchema), interleaved with milestones.
+//! * [`TraceFile`] — the `campaign --record` / `--replay` artefact: one
+//!   digest line per scenario, plus the campaign identity needed to
+//!   re-execute the captured schedule byte-identically and
+//!   [`compare`](TraceFile::compare) the digests.
+//!
+//! Everything here is deterministic and dependency-free: digests use
+//! `mpca-crypto` primitives, the file format is the same line-oriented
+//! JSON the golden fixtures use.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod file;
+mod summary;
+mod tagged;
+
+pub use file::{ReplayMismatch, TraceFile, TraceRecord};
+pub use summary::{digest_hex, TraceSummary};
+pub use tagged::{TaggedEntry, TaggedTrace};

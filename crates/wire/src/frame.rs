@@ -1,0 +1,281 @@
+//! Generic **framing** primitives: named byte spans over an encoded message.
+//!
+//! A [`Frame`] is a structural map of one encoded message: a stable tag
+//! naming the message variant plus a list of [`FrameField`]s, each covering
+//! a contiguous byte span of the original buffer. Frames are produced by
+//! walking the buffer with a [`FrameReader`] — a [`Reader`] that records the
+//! span consumed by every named decode step — so a frame is lossless by
+//! construction: the field spans tile the buffer exactly, and re-assembling
+//! them reproduces the original bytes verbatim.
+//!
+//! Frames exist for two consumers:
+//!
+//! * **tracing** — execution traces tag every envelope with the frame tag of
+//!   its payload, turning opaque byte streams into protocol-phase-readable
+//!   transcripts;
+//! * **framing-aware tampering** — an adversary that rewrites a *field*
+//!   inside a frame (and only bytes of that field) produces a message that
+//!   still parses, so the attack tests a protocol's *verification*, not its
+//!   parser. Fields that frame other bytes (discriminants, length prefixes)
+//!   are marked immutable and refuse tampering.
+//!
+//! The per-protocol schemas that build frames from this crate's primitives
+//! live next to the protocol catalog in `mpca-core` (`frames` module), since
+//! they need the concrete message types.
+
+use crate::{Decode, Reader, WireError};
+
+/// The byte XOR-ed into every byte of a tampered field.
+///
+/// Chosen non-zero so a tamper always changes the bytes, and fixed so
+/// tampered executions stay deterministic.
+pub const TAMPER_MASK: u8 = 0xA5;
+
+/// One named, contiguous byte span of a [`Frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameField {
+    /// Field name, unique within its frame (indexed names like `c2.0` for
+    /// repeated groups).
+    pub name: String,
+    /// Start offset (inclusive) within the framed buffer.
+    pub start: usize,
+    /// End offset (exclusive) within the framed buffer.
+    pub end: usize,
+    /// `true` when XOR-tampering the span keeps the message parseable:
+    /// value bytes are mutable, discriminants and length prefixes are not.
+    pub mutable: bool,
+}
+
+impl FrameField {
+    /// Number of bytes the field covers.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the field covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The structural map of one encoded message: a variant tag plus the byte
+/// spans of its fields (in buffer order, tiling `0..len` exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Stable variant tag (e.g. `mpc:public-key`).
+    pub tag: &'static str,
+    /// Total length in bytes of the framed buffer.
+    pub len: usize,
+    /// The fields, in buffer order.
+    pub fields: Vec<FrameField>,
+}
+
+impl Frame {
+    /// The field named `name`, if present.
+    pub fn field(&self, name: &str) -> Option<&FrameField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of the fields that accept tampering (mutable and non-empty).
+    pub fn tamperable_fields(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.mutable && !f.is_empty())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// `true` when the field spans tile `0..len` contiguously — the
+    /// losslessness invariant every schema-produced frame satisfies.
+    pub fn covers_exactly(&self) -> bool {
+        let mut cursor = 0usize;
+        for field in &self.fields {
+            if field.start != cursor || field.end < field.start {
+                return false;
+            }
+            cursor = field.end;
+        }
+        cursor == self.len
+    }
+
+    /// Re-assembles the frame over `bytes`: the identity on the original
+    /// buffer (frames are span maps, not re-encoders), asserting the tiling
+    /// invariant. Returns `None` when `bytes` is not the framed buffer.
+    pub fn reassemble(&self, bytes: &[u8]) -> Option<Vec<u8>> {
+        if bytes.len() != self.len || !self.covers_exactly() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.len);
+        for field in &self.fields {
+            out.extend_from_slice(&bytes[field.start..field.end]);
+        }
+        Some(out)
+    }
+
+    /// Rewrites exactly the bytes of mutable field `name` in `bytes`
+    /// (XOR [`TAMPER_MASK`], length preserved) and returns the tampered
+    /// buffer.
+    ///
+    /// Returns `None` when the field is missing, empty, marked immutable, or
+    /// `bytes` does not match the framed buffer length — tampering never
+    /// produces an unparseable message by construction.
+    pub fn tamper(&self, bytes: &[u8], name: &str) -> Option<Vec<u8>> {
+        if bytes.len() != self.len {
+            return None;
+        }
+        let field = self.field(name)?;
+        if !field.mutable || field.is_empty() {
+            return None;
+        }
+        let mut out = bytes.to_vec();
+        for b in &mut out[field.start..field.end] {
+            *b ^= TAMPER_MASK;
+        }
+        Some(out)
+    }
+}
+
+/// A [`Reader`] that records the byte span of every named decode step,
+/// producing a [`Frame`] when the buffer is fully consumed.
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    reader: Reader<'a>,
+    len: usize,
+    fields: Vec<FrameField>,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Starts framing `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            reader: Reader::new(bytes),
+            len: bytes.len(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Decodes a `T` while recording its span as field `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the decode error of `T`.
+    pub fn field<T: Decode>(
+        &mut self,
+        name: impl Into<String>,
+        mutable: bool,
+    ) -> Result<T, WireError> {
+        self.field_with(name, mutable, T::decode)
+    }
+
+    /// Runs `decode` while recording the span it consumes as field `name` —
+    /// for spans that are not a single `Decode` value (a run of fixed-width
+    /// words, a raw byte region).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of `decode`.
+    pub fn field_with<T>(
+        &mut self,
+        name: impl Into<String>,
+        mutable: bool,
+        decode: impl FnOnce(&mut Reader<'a>) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let start = self.reader.position();
+        let value = decode(&mut self.reader)?;
+        self.fields.push(FrameField {
+            name: name.into(),
+            start,
+            end: self.reader.position(),
+            mutable,
+        });
+        Ok(value)
+    }
+
+    /// Finishes framing under `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] when the buffer was not fully
+    /// consumed — a frame must account for every byte.
+    pub fn finish(self, tag: &'static str) -> Result<Frame, WireError> {
+        self.reader.finish()?;
+        Ok(Frame {
+            tag,
+            len: self.len,
+            fields: self.fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+
+    fn sample() -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(2);
+        w.put_uvarint(3);
+        w.put_u64(111);
+        w.put_u64(222);
+        w.put_u64(333);
+        w.into_bytes()
+    }
+
+    fn frame(bytes: &[u8]) -> Frame {
+        let mut fr = FrameReader::new(bytes);
+        let disc: u8 = fr.field("disc", false).unwrap();
+        assert_eq!(disc, 2);
+        let count = fr.field_with("count", false, |r| r.get_uvarint()).unwrap();
+        fr.field_with("values", true, |r| {
+            for _ in 0..count {
+                r.get_u64()?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        fr.finish("test:values").unwrap()
+    }
+
+    #[test]
+    fn frames_tile_and_reassemble_identically() {
+        let bytes = sample();
+        let f = frame(&bytes);
+        assert_eq!(f.tag, "test:values");
+        assert!(f.covers_exactly());
+        assert_eq!(f.reassemble(&bytes).unwrap(), bytes);
+        assert_eq!(f.field("values").unwrap().len(), 24);
+        assert_eq!(f.tamperable_fields(), vec!["values"]);
+    }
+
+    #[test]
+    fn tamper_changes_exactly_the_targeted_field() {
+        let bytes = sample();
+        let f = frame(&bytes);
+        let tampered = f.tamper(&bytes, "values").unwrap();
+        assert_eq!(tampered.len(), bytes.len());
+        let span = f.field("values").unwrap();
+        for (i, (a, b)) in bytes.iter().zip(&tampered).enumerate() {
+            if i >= span.start && i < span.end {
+                assert_eq!(*b, a ^ TAMPER_MASK, "byte {i} inside the field");
+            } else {
+                assert_eq!(b, a, "byte {i} outside the field");
+            }
+        }
+        // Immutable and unknown fields refuse tampering.
+        assert!(f.tamper(&bytes, "disc").is_none());
+        assert!(f.tamper(&bytes, "nope").is_none());
+        assert!(f.tamper(&bytes[1..], "values").is_none());
+    }
+
+    #[test]
+    fn unconsumed_bytes_fail_framing() {
+        let bytes = sample();
+        let mut fr = FrameReader::new(&bytes);
+        let _: u8 = fr.field("disc", false).unwrap();
+        assert!(matches!(
+            fr.finish("partial"),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+}

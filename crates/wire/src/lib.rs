@@ -39,12 +39,15 @@
 #![warn(missing_docs)]
 
 mod error;
+mod frame;
+pub mod linejson;
 mod reader;
 mod traits;
 mod varint;
 mod writer;
 
 pub use error::WireError;
+pub use frame::{Frame, FrameField, FrameReader, TAMPER_MASK};
 pub use reader::Reader;
 pub use reader::MAX_FIELD_LEN;
 pub use traits::{Decode, Encode};

@@ -1,0 +1,80 @@
+//! Dependency-free scanners for the workspace's **line-oriented JSON**
+//! artefacts (golden calibration fixtures, campaign trace files,
+//! `BENCH_results.json`): one object per line, flat string/number fields.
+//!
+//! The format is deliberately restricted so a full JSON parser is never
+//! needed offline — but the scanners do honour string escaping, so the
+//! write side ([`escape_str`]) and the read side ([`field_str`]) round-trip
+//! any label.
+
+/// Escapes a string for embedding in a line-JSON field value.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts (and unescapes) the string value of `"key":"…"` from one line.
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    let pattern = format!("\"{key}\":\"");
+    let start = line.find(&pattern)? + pattern.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                escaped => out.push(escaped),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts the numeric value of `"key":123` from one line.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_scan() {
+        let line = "{\"protocol\":\"thm1-mpc\",\"n\":16,\"bits\":2048}";
+        assert_eq!(field_str(line, "protocol").as_deref(), Some("thm1-mpc"));
+        assert_eq!(field_u64(line, "n"), Some(16));
+        assert_eq!(field_u64(line, "bits"), Some(2048));
+        assert_eq!(field_str(line, "missing"), None);
+        assert_eq!(field_u64(line, "protocol"), None);
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        for label in ["plain", "with \"quotes\"", "back\\slash", "new\nline", ""] {
+            let line = format!("{{\"label\":\"{}\"}}", escape_str(label));
+            assert_eq!(
+                field_str(&line, "label").as_deref(),
+                Some(label),
+                "round trip of {label:?}"
+            );
+        }
+        // An unterminated string yields None rather than garbage.
+        assert_eq!(field_str("{\"label\":\"oops", "label"), None);
+    }
+}

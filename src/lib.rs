@@ -17,6 +17,10 @@
 //! * [`encfunc`] — the encrypted functionality `F[PKE, f]` of the paper,
 //! * [`protocols`] — the paper's protocols (Theorems 1, 2 and 4, the
 //!   baselines, and the Theorem 3 lower-bound attack),
+//! * [`trace`] — the trace plane: canonical digests over the simulator's
+//!   structured event stream ([`TraceSummary`](trace::TraceSummary)),
+//!   frame-tagged transcripts, and the `campaign --record` / `--replay`
+//!   file format,
 //! * [`engine`] — the batch-execution runtime: sequential/parallel
 //!   round-stepping backends and a [`SessionPool`](engine::SessionPool) for
 //!   running fleets of sessions concurrently with deterministic results,
@@ -61,4 +65,5 @@ pub use mpca_encfunc as encfunc;
 pub use mpca_engine as engine;
 pub use mpca_net as net;
 pub use mpca_scenario as scenario;
+pub use mpca_trace as trace;
 pub use mpca_wire as wire;

@@ -1,0 +1,155 @@
+//! Property tests for the per-protocol frame schemas: for random messages
+//! of **every protocol family**, framing must be lossless
+//! (decode → re-assemble is byte-identical) and tampering must be surgical
+//! (exactly the targeted field's bytes change, and the tampered buffer
+//! still frames with the same tag) — the two invariants framing-aware
+//! equivocation and trace tagging rely on.
+
+use proptest::prelude::*;
+
+use mpc_aborts::crypto::fingerprint::{EqualityChallenge, EqualityResponse};
+use mpc_aborts::crypto::lwe::LweCiphertext;
+use mpc_aborts::crypto::Prg;
+use mpc_aborts::net::PartyId;
+use mpc_aborts::protocols::{
+    all_to_all::SuccinctMsg, broadcast::BroadcastMsg, committee::CommitteeMsg, gossip::GossipMsg,
+    mpc::MpcMsg, FrameSchema, ProtocolKind,
+};
+use mpc_aborts::wire::TAMPER_MASK;
+
+/// Checks the two frame invariants on one encoded message, and exercises
+/// every tamperable field.
+fn assert_frame_invariants(kind: ProtocolKind, bytes: &[u8]) {
+    let schema = FrameSchema::new(kind);
+    let frame = schema
+        .decode(bytes)
+        .unwrap_or_else(|| panic!("{kind}: message must frame: {bytes:?}"));
+    // Lossless: the field spans tile the buffer and re-assembly is the
+    // identity.
+    assert!(
+        frame.covers_exactly(),
+        "{kind}/{}: spans must tile",
+        frame.tag
+    );
+    assert_eq!(
+        frame.reassemble(bytes).as_deref(),
+        Some(bytes),
+        "{kind}/{}: decode -> re-encode must be byte-identical",
+        frame.tag
+    );
+    // Surgical tampering: for every tamperable field, exactly that span's
+    // bytes change (by the fixed mask) and the result still frames with
+    // the same tag.
+    for field in frame.tamperable_fields() {
+        let tampered = schema
+            .tamper(bytes, frame.tag, field)
+            .unwrap_or_else(|| panic!("{kind}/{}: field {field} must tamper", frame.tag));
+        assert_eq!(tampered.len(), bytes.len(), "length (and charge) preserved");
+        let span = frame.field(field).expect("named field exists");
+        for (i, (a, b)) in bytes.iter().zip(&tampered).enumerate() {
+            if i >= span.start && i < span.end {
+                assert_eq!(*b, a ^ TAMPER_MASK, "byte {i} inside {field}");
+            } else {
+                assert_eq!(b, a, "byte {i} outside {field} must not change");
+            }
+        }
+        let reframed = schema
+            .decode(&tampered)
+            .unwrap_or_else(|| panic!("{kind}/{}: tampered {field} must still frame", frame.tag));
+        assert_eq!(
+            reframed.tag, frame.tag,
+            "tampering {field} must not change the variant"
+        );
+    }
+}
+
+fn challenge(seed: u64) -> EqualityChallenge {
+    EqualityChallenge::new(
+        &mut Prg::from_seed_bytes(&seed.to_le_bytes()),
+        16,
+        &seed.to_le_bytes(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mpc_frames_are_lossless_and_tamper_surgically(
+        words in proptest::collection::vec(any::<u64>(), 1..8),
+        body in proptest::collection::vec(any::<u8>(), 0..48),
+        c2 in any::<u64>(),
+        seed in any::<u64>(),
+        equal in any::<bool>(),
+    ) {
+        let ct = LweCiphertext { chunks: vec![(words.clone(), c2)] };
+        let msgs = [
+            MpcMsg::PublicKey(words.clone()),
+            MpcMsg::Keygen(mpc_aborts::encfunc::keygen::KeygenContribution { b: words.clone() }),
+            MpcMsg::Filler(body.clone()),
+            MpcMsg::InputCt(ct),
+            MpcMsg::CtChallenge(challenge(seed)),
+            MpcMsg::CtResponse(EqualityResponse { equal }),
+            MpcMsg::Partial(mpc_aborts::crypto::threshold::PartialDecryption {
+                values: words.clone(),
+            }),
+            MpcMsg::Output(body.clone()),
+        ];
+        for msg in msgs {
+            // Both checked MPC families share the MpcMsg framing.
+            assert_frame_invariants(ProtocolKind::Theorem1Mpc, &mpc_aborts::wire::to_bytes(&msg));
+            assert_frame_invariants(
+                ProtocolKind::Theorem4Tradeoff,
+                &mpc_aborts::wire::to_bytes(&msg),
+            );
+        }
+    }
+
+    #[test]
+    fn committee_broadcast_a2a_gossip_frames_hold(
+        body in proptest::collection::vec(any::<u8>(), 0..48),
+        source in 0usize..64,
+        seed in any::<u64>(),
+        equal in any::<bool>(),
+        value in any::<u64>(),
+    ) {
+        for msg in [
+            CommitteeMsg::Elected,
+            CommitteeMsg::Challenge(challenge(seed)),
+            CommitteeMsg::Response(EqualityResponse { equal }),
+        ] {
+            assert_frame_invariants(ProtocolKind::Theorem1Mpc, &mpc_aborts::wire::to_bytes(&msg));
+        }
+        for msg in [
+            BroadcastMsg::Send(body.clone()),
+            BroadcastMsg::Echo(None),
+            BroadcastMsg::Echo(Some(body.clone())),
+        ] {
+            assert_frame_invariants(ProtocolKind::Broadcast, &mpc_aborts::wire::to_bytes(&msg));
+        }
+        for msg in [
+            SuccinctMsg::Input(body.clone()),
+            SuccinctMsg::Challenge(challenge(seed)),
+            SuccinctMsg::Response(EqualityResponse { equal }),
+        ] {
+            assert_frame_invariants(
+                ProtocolKind::SuccinctAllToAll,
+                &mpc_aborts::wire::to_bytes(&msg),
+            );
+        }
+        for msg in [
+            GossipMsg::Rumor {
+                source: PartyId(source),
+                value: body.clone().into(),
+            },
+            GossipMsg::Warning,
+        ] {
+            assert_frame_invariants(
+                ProtocolKind::Theorem2LocalMpc,
+                &mpc_aborts::wire::to_bytes(&msg),
+            );
+        }
+        // The unchecked sum's bare u64 value.
+        assert_frame_invariants(ProtocolKind::UncheckedSum, &mpc_aborts::wire::to_bytes(&value));
+    }
+}
