@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 
 use mpca_core::{
     all_to_all, committee, equality, gossip, local_committee, local_mpc, lower_bound, mpc,
-    multi_output, sparse, tradeoff, ExecutionPath, ProtocolParams,
+    multi_output, sparse, tradeoff, ExecutionPath, ProtocolKind, ProtocolParams,
 };
 use mpca_crypto::lwe::LweParams;
 use mpca_crypto::Prg;
@@ -785,6 +785,8 @@ pub fn exp_sweep() -> Table {
             "honest bits",
             "max budget util",
             "verdicts",
+            "wall p50 ms",
+            "wall p99 ms",
         ],
     );
     let campaign = mpca_scenario::sweep_campaign(0);
@@ -860,6 +862,8 @@ pub fn exp_sweep() -> Table {
             } else {
                 "flagged".into()
             },
+            "-".into(),
+            "-".into(),
         ]);
     }
     table.push_row(vec![
@@ -885,6 +889,8 @@ pub fn exp_sweep() -> Table {
             "{:.1} scenarios/s",
             report.len() as f64 / report.wall.as_secs_f64().max(1e-9)
         ),
+        format!("{:.2}", report.wall_p50().as_secs_f64() * 1000.0),
+        format!("{:.2}", report.wall_p99().as_secs_f64() * 1000.0),
     ]);
     table
 }
@@ -965,6 +971,112 @@ pub fn exp_trace_overhead() -> Table {
     table
 }
 
+/// `E18-metrics` — the metrics plane's price and its payoff. Price: the
+/// tiny sweep campaign runs back-to-back with the registry disabled and
+/// enabled (span timers, phase-wall flushes, payload mirrors, session
+/// histograms all live), best-of-`REPS` wall-clock per mode; the acceptance
+/// target is **< 10 % overhead**, same bar as `E17-trace`. Payoff: one row
+/// per protocol family decomposing its honest-execution communication into
+/// per-phase charged bytes via the phase clock — the cost-attribution view
+/// no aggregate `CommStats` total can give. Each family row also asserts
+/// byte conservation: the six phase cells sum to the session's total.
+pub fn exp_metrics() -> Table {
+    const REPS: usize = 3;
+    let mut table = Table::new(
+        "E18-metrics",
+        "Metrics-plane overhead on the tiny sweep campaign (registry off vs on, best-of-3 \
+         wall-clock, <10% acceptance target), then the per-phase byte decomposition of every \
+         protocol family's honest execution (n = 8, phase clock driven by milestones).",
+        &[
+            "mode/family",
+            "setup B",
+            "crs B",
+            "committee B",
+            "sharing B",
+            "verification B",
+            "output B",
+            "total B",
+            "best wall ms",
+            "overhead",
+        ],
+    );
+
+    let campaign = mpca_scenario::tiny_sweep_campaign(0);
+    let mut best_off = f64::MAX;
+    let mut best_on = f64::MAX;
+    for _ in 0..REPS {
+        mpca_metrics::set_enabled(false);
+        let start = std::time::Instant::now();
+        let off = campaign.run(Sequential, 1).expect("metrics-off sweep runs");
+        best_off = best_off.min(start.elapsed().as_secs_f64() * 1000.0);
+        assert!(off.all_as_expected(), "metrics-off sweep must pass");
+
+        mpca_metrics::set_enabled(true);
+        let start = std::time::Instant::now();
+        let on = campaign.run(Sequential, 1).expect("metrics-on sweep runs");
+        best_on = best_on.min(start.elapsed().as_secs_f64() * 1000.0);
+        mpca_metrics::set_enabled(false);
+        assert!(on.all_as_expected(), "metrics-on sweep must pass");
+        assert_eq!(
+            off.verdict_digest(),
+            on.verdict_digest(),
+            "the metrics plane must not perturb verdicts"
+        );
+    }
+    let overhead = (best_on - best_off) / best_off.max(1e-9) * 100.0;
+    let blank_phases = |mut row: Vec<String>| -> Vec<String> {
+        let tail = row.split_off(1);
+        row.extend(std::iter::repeat_n("-".to_string(), 7));
+        row.extend(tail);
+        row
+    };
+    table.push_row(blank_phases(vec![
+        "metrics-off".into(),
+        format!("{best_off:.1}"),
+        "baseline".into(),
+    ]));
+    table.push_row(blank_phases(vec![
+        "metrics-on".into(),
+        format!("{best_on:.1}"),
+        format!("{overhead:+.1}%"),
+    ]));
+
+    // Per-family phase decomposition: one honest n = 8 session per protocol
+    // family, phase bytes attributed by the milestone-driven phase clock.
+    let mut pool = SessionPool::new(Sequential).with_workers(1);
+    for (i, kind) in ProtocolKind::ALL.into_iter().enumerate() {
+        let plan = mpca_scenario::ScenarioPlan::new(
+            format!("e18-{i}"),
+            kind,
+            mpca_scenario::AdversarySpec::Honest,
+        )
+        .with_grid([(8, 8)])
+        .with_seed(5);
+        for scenario in plan.scenarios() {
+            mpca_scenario::registry::submit_scenario(&mut pool, &scenario);
+        }
+    }
+    let batch = pool.run().expect("decomposition sessions run");
+    assert_eq!(batch.sessions.len(), ProtocolKind::ALL.len());
+    for (session, kind) in batch.sessions.iter().zip(ProtocolKind::ALL) {
+        assert_eq!(
+            session.phase_bytes.total(),
+            session.stats.total_bytes(),
+            "phase attribution must conserve every charged byte ({})",
+            kind.name()
+        );
+        let mut row = vec![kind.name().to_string()];
+        for phase in mpca_metrics::Phase::ALL {
+            row.push(session.phase_bytes.get(phase).to_string());
+        }
+        row.push(session.phase_bytes.total().to_string());
+        row.push("-".into());
+        row.push("-".into());
+        table.push_row(row);
+    }
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -988,6 +1100,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E15-scenario-campaign", exp_scenario_campaign),
         ("E16-sweep", exp_sweep),
         ("E17-trace", exp_trace_overhead),
+        ("E18-metrics", exp_metrics),
     ]
 }
 
@@ -1036,7 +1149,23 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 17);
+        assert_eq!(all_experiments().len(), 18);
+    }
+
+    #[test]
+    fn metrics_experiment_decomposes_and_conserves() {
+        let _guard = serial();
+        let table = exp_metrics();
+        // Two overhead rows + one decomposition row per protocol family.
+        assert_eq!(table.rows.len(), 2 + ProtocolKind::ALL.len());
+        assert_eq!(table.rows[0][0], "metrics-off");
+        assert_eq!(table.rows[1][0], "metrics-on");
+        for row in &table.rows[2..] {
+            let phases: u64 = row[1..7].iter().map(|c| c.parse::<u64>().unwrap()).sum();
+            let total: u64 = row[7].parse().unwrap();
+            assert_eq!(phases, total, "phase cells must sum to the total: {row:?}");
+            assert!(total > 0, "every family charges bytes: {row:?}");
+        }
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub type View = BTreeMap<PartyId, Vec<u8>>;
 
 /// Canonically encodes a view for equality testing.
 pub fn encode_view(view: &View) -> Vec<u8> {
+    // O(n·ℓ) per call and called by every party — the all-to-all hot path
+    // the metrics plane profiles (inert span unless enabled).
+    let _span = mpca_metrics::span("core.all_to_all.encode_view");
     mpca_wire::to_bytes(view)
 }
 

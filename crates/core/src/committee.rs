@@ -126,6 +126,9 @@ impl PartyLogic for CommitteeElectParty {
         match round {
             // Step 1–2: self-election and notification.
             0 => {
+                // Profiling hook for the scale-n work: inert unless the
+                // metrics plane is enabled.
+                let _span = mpca_metrics::span("core.committee.draw");
                 self.elected = self.prg.gen_bool(self.params.election_probability());
                 if self.elected {
                     self.view.insert(self.id);

@@ -145,6 +145,7 @@ impl PartyLogic for LocalCommitteeElectParty {
                 Step::Continue => Step::Continue,
                 Step::Abort(reason) => Step::Abort(reason),
                 Step::Output(Neighborhood { neighbors }) => {
+                    let _span = mpca_metrics::span("core.local_committee.draw");
                     self.neighbors = neighbors;
                     self.sparse = None;
                     // Step 2: the election coin.

@@ -299,6 +299,7 @@ impl PartyLogic for TradeoffParty {
                     };
                     self.pk_b = Some(pk_b.clone());
                     // Step 3 of Algorithm 8: sample the cover set S_c.
+                    let _span = mpca_metrics::span("core.tradeoff.cover_draw");
                     let cover_size = self.params.cover_size();
                     self.cover = self
                         .prg

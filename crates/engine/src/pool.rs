@@ -159,6 +159,18 @@ impl<B: ExecutionBackend> SessionPool<B> {
         let completed = AtomicUsize::new(0);
         let start = Instant::now();
         let alloc_before = PayloadAllocStats::snapshot();
+        // Sustained-load latency telemetry: per-session wall and queue-wait
+        // histograms, plus per-phase wall counter deltas over this run.
+        // One relaxed load when the metrics plane is off.
+        let metrics = mpca_metrics::enabled();
+        let telemetry = metrics.then(|| {
+            let registry = mpca_metrics::Registry::global();
+            (
+                registry.histogram("engine.session.wall_us"),
+                registry.histogram("engine.session.queue_us"),
+            )
+        });
+        let phase_wall_before = metrics.then(phase_wall_counters_snapshot);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -166,7 +178,15 @@ impl<B: ExecutionBackend> SessionPool<B> {
                     let Some((index, session)) = next else {
                         break;
                     };
+                    if let Some((_, queue_hist)) = telemetry {
+                        // Queue wait: how long the session sat in the queue
+                        // after run() started before a worker picked it up.
+                        queue_hist.record(start.elapsed().as_micros() as u64);
+                    }
                     let outcome = (session.job)(backend);
+                    if let (Some((wall_hist, _)), Ok(report)) = (telemetry, &outcome) {
+                        wall_hist.record(report.wall.as_micros() as u64);
+                    }
                     if let Some(observer) = progress {
                         observer(SessionProgress {
                             completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
@@ -184,6 +204,13 @@ impl<B: ExecutionBackend> SessionPool<B> {
         });
         let wall = start.elapsed();
         let allocated = PayloadAllocStats::snapshot().since(alloc_before);
+        let mut phase_wall_us = [0u64; mpca_metrics::Phase::COUNT];
+        if let Some(before) = phase_wall_before {
+            let after = phase_wall_counters_snapshot();
+            for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+                phase_wall_us[i] = a.saturating_sub(*b);
+            }
+        }
 
         let mut sessions = Vec::with_capacity(total);
         for slot in slots {
@@ -193,14 +220,30 @@ impl<B: ExecutionBackend> SessionPool<B> {
                 .expect("worker pool drained the whole queue");
             sessions.push(outcome?);
         }
-        Ok(BatchReport {
+        Ok(BatchReport::new(
             sessions,
             wall,
             workers,
-            backend: self.backend.name(),
-            allocated_payload_bytes: allocated.bytes,
-        })
+            self.backend.name(),
+            allocated.bytes,
+            phase_wall_us,
+        ))
     }
+}
+
+/// Current values of the simulator's per-phase wall counters, in phase
+/// order — subtracted across `run()` to attribute a batch's in-round wall
+/// time to phases. Process-wide counters, so concurrent batches smear into
+/// each other (telemetry only, like the payload allocation delta).
+fn phase_wall_counters_snapshot() -> [u64; mpca_metrics::Phase::COUNT] {
+    let registry = mpca_metrics::Registry::global();
+    let mut out = [0u64; mpca_metrics::Phase::COUNT];
+    for (i, phase) in mpca_metrics::Phase::ALL.into_iter().enumerate() {
+        out[i] = registry
+            .counter(&format!("net.phase.wall_us.{phase}"))
+            .get();
+    }
+    out
 }
 
 #[cfg(test)]

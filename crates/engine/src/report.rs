@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::time::Duration;
 
+use mpca_metrics::{Phase, PhaseBytes};
 use mpca_net::{AbortReason, CommStats, PartyId, PartyOutcome, RunResult};
 use mpca_trace::TraceSummary;
 
@@ -69,6 +70,11 @@ pub struct SessionReport {
     /// parallel == sequential contract covers the entire event stream of a
     /// traced session, not just its aggregates.
     pub trace: Option<TraceSummary>,
+    /// Charged bytes attributed to each protocol phase by the simulator's
+    /// milestone-driven phase clock. Deterministic across backends —
+    /// **part of equality** — and its total always equals
+    /// `stats.total_bytes()` (the conservation invariant).
+    pub phase_bytes: PhaseBytes,
     /// Wall-clock time of this session (build + execution).
     pub wall: Duration,
 }
@@ -83,6 +89,7 @@ impl PartialEq for SessionReport {
             && self.peak_inbox_bytes == other.peak_inbox_bytes
             && self.peak_inbox_envelopes == other.peak_inbox_envelopes
             && self.trace == other.trace
+            && self.phase_bytes == other.phase_bytes
     }
 }
 
@@ -113,6 +120,7 @@ impl SessionReport {
             peak_inbox_bytes: result.peak_inbox_bytes,
             peak_inbox_envelopes: result.peak_inbox_envelopes,
             trace: result.trace.as_ref().map(TraceSummary::of),
+            phase_bytes: result.phase_bytes,
             wall,
         }
     }
@@ -150,9 +158,41 @@ pub struct BatchReport {
     /// buffers instead of copying them. Telemetry only — excluded from any
     /// equality, since concurrent batches share the process counter.
     pub allocated_payload_bytes: u64,
+    /// Wall-microseconds per protocol phase spent inside simulator rounds
+    /// while the batch ran (registry counter deltas over `run()`).
+    /// All-zero unless the metrics plane was enabled. Telemetry only —
+    /// wall-clock is nondeterministic, so this sits *alongside* the
+    /// equality contract, unlike [`BatchReport::phase_bytes_total`].
+    pub phase_wall_us: [u64; Phase::COUNT],
+    /// Per-session walls, sorted ascending at construction so quantile
+    /// queries are O(1) lookups instead of per-call clone + sort.
+    sorted_walls: Vec<Duration>,
 }
 
 impl BatchReport {
+    /// Assembles a batch report, sorting the per-session walls once so
+    /// [`BatchReport::wall_quantile`] and the `p50/p90/p99` accessors are
+    /// constant-time thereafter.
+    pub fn new(
+        sessions: Vec<SessionReport>,
+        wall: Duration,
+        workers: usize,
+        backend: &'static str,
+        allocated_payload_bytes: u64,
+        phase_wall_us: [u64; Phase::COUNT],
+    ) -> Self {
+        let mut sorted_walls: Vec<Duration> = sessions.iter().map(|s| s.wall).collect();
+        sorted_walls.sort_unstable();
+        Self {
+            sessions,
+            wall,
+            workers,
+            backend,
+            allocated_payload_bytes,
+            phase_wall_us,
+            sorted_walls,
+        }
+    }
     /// Total bytes sent across all sessions.
     pub fn total_bytes(&self) -> u64 {
         self.sessions.iter().map(SessionReport::total_bytes).sum()
@@ -190,15 +230,41 @@ impl BatchReport {
     /// The `q`-quantile (`0.0 ..= 1.0`) of per-session wall-clock, by the
     /// nearest-rank method — `0.5` is the median session, `1.0` the slowest.
     /// Long-campaign telemetry: a p95 far above the median means a few
-    /// sessions (usually the largest `n`) dominate the batch.
+    /// sessions (usually the largest `n`) dominate the batch. O(1): walls
+    /// are sorted once at construction.
     pub fn wall_quantile(&self, q: f64) -> Duration {
-        if self.sessions.is_empty() {
+        if self.sorted_walls.is_empty() {
             return Duration::ZERO;
         }
-        let mut walls: Vec<Duration> = self.sessions.iter().map(|s| s.wall).collect();
-        walls.sort_unstable();
+        let walls = &self.sorted_walls;
         let rank = ((q.clamp(0.0, 1.0) * walls.len() as f64).ceil() as usize).max(1) - 1;
         walls[rank.min(walls.len() - 1)]
+    }
+
+    /// Median per-session wall-clock.
+    pub fn p50(&self) -> Duration {
+        self.wall_quantile(0.5)
+    }
+
+    /// 90th-percentile per-session wall-clock.
+    pub fn p90(&self) -> Duration {
+        self.wall_quantile(0.9)
+    }
+
+    /// 99th-percentile per-session wall-clock — the sustained-load latency
+    /// signal the fleet telemetry watches.
+    pub fn p99(&self) -> Duration {
+        self.wall_quantile(0.99)
+    }
+
+    /// Charged bytes per protocol phase summed over every session.
+    /// Deterministic (a sum of in-contract per-session values).
+    pub fn phase_bytes_total(&self) -> PhaseBytes {
+        let mut total = PhaseBytes::new();
+        for session in &self.sessions {
+            total.merge(&session.phase_bytes);
+        }
+        total
     }
 
     /// The `k` slowest sessions, slowest first — the campaign-level answer
@@ -246,6 +312,7 @@ mod tests {
             peak_inbox_bytes: 10,
             peak_inbox_envelopes: 1,
             trace: None,
+            phase_bytes: PhaseBytes::new(),
             wall: Duration::from_millis(wall_ms),
         }
     }
@@ -270,13 +337,14 @@ mod tests {
 
     #[test]
     fn batch_aggregates() {
-        let batch = BatchReport {
-            sessions: vec![report("a", 2, 1), report("b", 3, 1)],
-            wall: Duration::from_millis(100),
-            workers: 4,
-            backend: "parallel",
-            allocated_payload_bytes: 7,
-        };
+        let batch = BatchReport::new(
+            vec![report("a", 2, 1), report("b", 3, 1)],
+            Duration::from_millis(100),
+            4,
+            "parallel",
+            7,
+            [0; Phase::COUNT],
+        );
         assert_eq!(batch.total_rounds(), 5);
         assert_eq!(batch.total_bytes(), 20);
         assert_eq!(batch.peak_inbox_bytes(), 10);
@@ -291,35 +359,63 @@ mod tests {
 
     #[test]
     fn wall_quantiles_rank_sessions() {
-        let batch = BatchReport {
-            sessions: vec![
+        let batch = BatchReport::new(
+            vec![
                 report("a", 1, 10),
                 report("b", 1, 40),
                 report("c", 1, 20),
                 report("d", 1, 30),
             ],
-            wall: Duration::from_millis(100),
-            workers: 2,
-            backend: "sequential",
-            allocated_payload_bytes: 0,
-        };
+            Duration::from_millis(100),
+            2,
+            "sequential",
+            0,
+            [0; Phase::COUNT],
+        );
         assert_eq!(batch.wall_quantile(0.5), Duration::from_millis(20));
         assert_eq!(batch.wall_quantile(1.0), Duration::from_millis(40));
         assert_eq!(batch.wall_quantile(0.0), Duration::from_millis(10));
+        // The convenience accessors answer from the same sorted-once cache.
+        assert_eq!(batch.p50(), Duration::from_millis(20));
+        assert_eq!(batch.p90(), Duration::from_millis(40));
+        assert_eq!(batch.p99(), Duration::from_millis(40));
         let slowest: Vec<&str> = batch
             .slowest_sessions(2)
             .iter()
             .map(|s| s.label.as_str())
             .collect();
         assert_eq!(slowest, vec!["b", "d"]);
-        let empty = BatchReport {
-            sessions: vec![],
-            wall: Duration::ZERO,
-            workers: 1,
-            backend: "sequential",
-            allocated_payload_bytes: 0,
-        };
+        let empty = BatchReport::new(
+            vec![],
+            Duration::ZERO,
+            1,
+            "sequential",
+            0,
+            [0; Phase::COUNT],
+        );
         assert_eq!(empty.wall_quantile(0.5), Duration::ZERO);
+        assert_eq!(empty.p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_phase_bytes_sum_over_sessions() {
+        let mut a = report("a", 1, 1);
+        a.phase_bytes.charge(Phase::Setup, 100);
+        a.phase_bytes.charge(Phase::Verification, 7);
+        let mut b = report("b", 1, 1);
+        b.phase_bytes.charge(Phase::Setup, 11);
+        let batch = BatchReport::new(
+            vec![a, b],
+            Duration::from_millis(1),
+            1,
+            "sequential",
+            0,
+            [0; Phase::COUNT],
+        );
+        let total = batch.phase_bytes_total();
+        assert_eq!(total.get(Phase::Setup), 111);
+        assert_eq!(total.get(Phase::Verification), 7);
+        assert_eq!(total.total(), 118);
     }
 
     #[test]
@@ -352,6 +448,7 @@ mod tests {
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
             trace: None,
+            phase_bytes: PhaseBytes::new(),
         };
         let report = SessionReport::from_result("r", &result, Duration::ZERO);
         assert_eq!(report.abort_reason_of(PartyId(1)), Some(&reason));
@@ -369,11 +466,23 @@ mod tests {
             milestones: 1,
             injected_sends: 0,
             aborts: BTreeMap::new(),
+            phase_bytes: PhaseBytes::new(),
         });
         let mut divergent = traced.clone();
         assert_eq!(traced, divergent);
         divergent.trace.as_mut().unwrap().digest = "bb".into();
         assert_ne!(traced, divergent, "a digest drift breaks equality");
         assert_ne!(traced, report("a", 2, 5), "traced != untraced");
+    }
+
+    #[test]
+    fn equality_covers_phase_bytes() {
+        let mut divergent = report("a", 2, 5);
+        divergent.phase_bytes.charge(Phase::Sharing, 1);
+        assert_ne!(
+            report("a", 2, 5),
+            divergent,
+            "a phase-attribution drift breaks equality even when totals hide it"
+        );
     }
 }

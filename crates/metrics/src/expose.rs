@@ -1,0 +1,462 @@
+//! Snapshot capture and exposition: JSON (schema
+//! `mpc-aborts/metrics/v1`) and Prometheus text format.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every registered metric —
+//! plain data, decoupled from the live atomics, safe to serialise or
+//! diff. The JSON format round-trips ([`Snapshot::from_json`]) so the
+//! emitted artefact can be validated against the checked-in schema
+//! fixture (`tests/golden/metrics_schema.json`) without external parsers.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Histogram, Registry, HISTOGRAM_BUCKETS};
+
+/// The snapshot JSON schema identifier.
+pub const METRICS_SCHEMA: &str = "mpc-aborts/metrics/v1";
+
+/// A point-in-time copy of one histogram: count, sum, and the non-empty
+/// buckets as `(inclusive upper bound, count)` pairs in bound order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Non-empty buckets, `(upper_bound, count)`, ascending bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Copies the live histogram.
+    pub fn of(histogram: &Histogram) -> Self {
+        let counts = histogram.bucket_counts();
+        let buckets = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0)
+            .map(|(i, c)| (upper_bound(i), *c))
+            .collect();
+        Self {
+            count: histogram.count(),
+            sum: histogram.sum(),
+            buckets,
+        }
+    }
+}
+
+fn upper_bound(bucket: usize) -> u64 {
+    if bucket >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else if bucket == 0 {
+        0
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// A point-in-time copy of the whole registry, name-sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Captures the global registry.
+    pub fn capture() -> Self {
+        Self::of(Registry::global())
+    }
+
+    /// Captures a specific registry.
+    pub fn of(registry: &Registry) -> Self {
+        Self {
+            counters: registry.counter_values(),
+            histograms: registry
+                .histogram_handles()
+                .into_iter()
+                .map(|(name, h)| (name, HistogramSnapshot::of(h)))
+                .collect(),
+        }
+    }
+
+    /// Serialises to the `mpc-aborts/metrics/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{METRICS_SCHEMA}\",");
+        out.push_str("  \"counters\": [\n");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"value\": {value}}}{comma}",
+                escape(name)
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"histograms\": [\n");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() {
+                ","
+            } else {
+                ""
+            };
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(bound, count)| format!("[{bound}, {count}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{comma}",
+                escape(name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `mpc-aborts/metrics/v1` document back into a snapshot.
+    /// Returns `None` on malformed input or a wrong schema identifier —
+    /// the round-trip contract the schema-fixture test enforces.
+    pub fn from_json(text: &str) -> Option<Snapshot> {
+        let mut p = Parser::new(text);
+        p.expect('{')?;
+        let mut schema_ok = false;
+        let mut snapshot = Snapshot::default();
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "schema" => schema_ok = p.string()? == METRICS_SCHEMA,
+                "counters" => {
+                    for obj in p.array_of_objects()? {
+                        let name = obj.field_string("name")?;
+                        let value = obj.field_u64("value")?;
+                        snapshot.counters.push((name, value));
+                    }
+                }
+                "histograms" => {
+                    for obj in p.array_of_objects()? {
+                        let name = obj.field_string("name")?;
+                        let count = obj.field_u64("count")?;
+                        let sum = obj.field_u64("sum")?;
+                        let buckets = obj.field_pairs("buckets")?;
+                        snapshot.histograms.push((
+                            name,
+                            HistogramSnapshot {
+                                count,
+                                sum,
+                                buckets,
+                            },
+                        ));
+                    }
+                }
+                _ => return None,
+            }
+            if !p.comma_or_close('}')? {
+                break;
+            }
+        }
+        if schema_ok {
+            Some(snapshot)
+        } else {
+            None
+        }
+    }
+
+    /// Renders the Prometheus text exposition format (counters as
+    /// `counter`, histograms as cumulative `_bucket`/`_sum`/`_count`
+    /// series with `le` labels).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in &h.buckets {
+                cumulative += count;
+                let _ = writeln!(out, "{metric}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{metric}_sum {}", h.sum);
+            let _ = writeln!(out, "{metric}_count {}", h.count);
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// A parsed `{...}` object: its string and number fields, plus
+/// `[[a, b], ...]` pair-array fields. Only the shapes the snapshot
+/// format uses.
+struct ParsedObject {
+    strings: Vec<(String, String)>,
+    numbers: Vec<(String, u64)>,
+    pairs: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+impl ParsedObject {
+    fn field_string(&self, key: &str) -> Option<String> {
+        self.strings
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn field_u64(&self, key: &str) -> Option<u64> {
+        self.numbers.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    fn field_pairs(&self, key: &str) -> Option<Vec<(u64, u64)>> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+}
+
+/// A minimal recursive-descent parser for exactly the snapshot JSON
+/// subset: objects of string/number/pair-array fields. No dependencies,
+/// no general JSON.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Option<()> {
+        if self.peek()? == c as u8 {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// After a value: consumes `,` (returns `true`) or `close`
+    /// (returns `false`).
+    fn comma_or_close(&mut self, close: char) -> Option<bool> {
+        match self.peek()? {
+            b',' => {
+                self.pos += 1;
+                Some(true)
+            }
+            b if b == close as u8 => {
+                self.pos += 1;
+                Some(false)
+            }
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    out.push(esc as char);
+                }
+                _ => out.push(b as char),
+            }
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn pair(&mut self) -> Option<(u64, u64)> {
+        self.expect('[')?;
+        let a = self.u64()?;
+        self.expect(',')?;
+        let b = self.u64()?;
+        self.expect(']')?;
+        Some((a, b))
+    }
+
+    fn object(&mut self) -> Option<ParsedObject> {
+        self.expect('{')?;
+        let mut obj = ParsedObject {
+            strings: Vec::new(),
+            numbers: Vec::new(),
+            pairs: Vec::new(),
+        };
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Some(obj);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            match self.peek()? {
+                b'"' => obj.strings.push((key, self.string()?)),
+                b'[' => {
+                    self.pos += 1;
+                    let mut pairs = Vec::new();
+                    if self.peek()? == b']' {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            pairs.push(self.pair()?);
+                            if !self.comma_or_close(']')? {
+                                break;
+                            }
+                        }
+                    }
+                    obj.pairs.push((key, pairs));
+                }
+                _ => obj.numbers.push((key, self.u64()?)),
+            }
+            if !self.comma_or_close('}')? {
+                return Some(obj);
+            }
+        }
+    }
+
+    fn array_of_objects(&mut self) -> Option<Vec<ParsedObject>> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            out.push(self.object()?);
+            if !self.comma_or_close(']')? {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                ("net.phase.bytes.setup".into(), 4096),
+                ("payload.materialised.buffers".into(), 12),
+            ],
+            histograms: vec![(
+                "engine.session.wall_us".into(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 1100,
+                    buckets: vec![(127, 1), (1023, 2)],
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snapshot = sample();
+        let json = snapshot.to_json();
+        assert!(json.contains(METRICS_SCHEMA));
+        let parsed = Snapshot::from_json(&json).expect("parses back");
+        assert_eq!(parsed, snapshot);
+        // A second serialise → parse cycle is a fixed point.
+        assert_eq!(Snapshot::from_json(&parsed.to_json()), Some(snapshot));
+    }
+
+    #[test]
+    fn wrong_schema_and_garbage_are_rejected() {
+        let json = sample().to_json().replace(METRICS_SCHEMA, "other/v9");
+        assert_eq!(Snapshot::from_json(&json), None);
+        assert_eq!(Snapshot::from_json("not json"), None);
+        assert_eq!(Snapshot::from_json("{}"), None, "schema is mandatory");
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let empty = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&empty.to_json()), Some(empty));
+    }
+
+    #[test]
+    fn prometheus_renders_cumulative_buckets() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE net_phase_bytes_setup counter"));
+        assert!(text.contains("net_phase_bytes_setup 4096"));
+        assert!(text.contains("engine_session_wall_us_bucket{le=\"127\"} 1"));
+        // Cumulative: the 1023 bucket includes the 127 bucket's count.
+        assert!(text.contains("engine_session_wall_us_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("engine_session_wall_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("engine_session_wall_us_sum 1100"));
+        assert!(text.contains("engine_session_wall_us_count 3"));
+    }
+
+    #[test]
+    fn snapshot_of_live_registry() {
+        let registry = Registry::default();
+        registry.counter("snap.c").add(7);
+        registry.histogram("snap.h").record(100);
+        let snapshot = Snapshot::of(&registry);
+        assert_eq!(snapshot.counters, vec![("snap.c".into(), 7)]);
+        assert_eq!(snapshot.histograms.len(), 1);
+        assert_eq!(snapshot.histograms[0].1.count, 1);
+        assert_eq!(snapshot.histograms[0].1.sum, 100);
+        assert_eq!(Snapshot::from_json(&snapshot.to_json()), Some(snapshot));
+    }
+}

@@ -1,0 +1,306 @@
+//! The process-wide registry: atomic counters, log₂ histograms, span
+//! timers, and the global enable switch.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Telemetry is off by default; a
+//!    disabled charge site is one relaxed atomic load, and a disabled
+//!    [`span`] guard never touches the clock. The `E18-metrics`
+//!    experiment holds the *enabled* overhead under 10 % on the tiny
+//!    sweep; disabled overhead is unmeasurable.
+//! 2. **`&'static` handles.** [`Registry::counter`]/[`histogram`]
+//!    (`Registry::histogram`) leak each metric once (`Box::leak`) and
+//!    hand out `&'static` references, so hot paths hold a plain
+//!    reference — no lock, no lookup, no `Arc` — and charge with one
+//!    `fetch_add`.
+//! 3. **Fixed-shape histograms.** 64 log₂ buckets cover the full `u64`
+//!    range with no configuration and no allocation on the record path;
+//!    quantiles are answered from bucket upper bounds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log₂ buckets in every [`Histogram`] (bucket `i` counts
+/// values whose bit length is `i`, i.e. `v == 0 → 0`, else
+/// `64 - v.leading_zeros()`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns live telemetry on or off process-wide. Deterministic phase
+/// accounting (`PhaseBytes` inside reports) is unaffected — it always
+/// runs.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether live telemetry is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotone atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-shape log₂ histogram: 65 buckets by bit length, plus running
+/// count and sum. Recording is three relaxed `fetch_add`s.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index of `value`: its bit length.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (`2^i − 1`), i.e. the bucket's
+/// inclusive upper bound.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (index = bit length of the observed value).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            out[i] = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `⌈q·count⌉`-th observation (log₂-granular, exact to
+    /// within one power of two). Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The process-wide metric registry. Metrics are created on first touch,
+/// leaked, and live for the process; names are stable identifiers (the
+/// exposition formats sort them).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// The counter named `name`, created (and leaked) on first touch.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("registry lock");
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::default());
+        map.insert(name.to_string(), c);
+        c
+    }
+
+    /// The histogram named `name`, created (and leaked) on first touch.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("registry lock");
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::default());
+        map.insert(name.to_string(), h);
+        h
+    }
+
+    /// Every registered counter as `(name, value)`, name-sorted.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Every registered histogram as `(name, handle)`, name-sorted.
+    pub fn histogram_handles(&self) -> Vec<(String, &'static Histogram)> {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), *h))
+            .collect()
+    }
+}
+
+/// A phase-scoped span timer: records elapsed **microseconds** into a
+/// registry histogram on drop. When telemetry is disabled the guard is
+/// inert — no clock read, no registry touch.
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<(Instant, &'static Histogram)>,
+}
+
+/// Opens a span named `name` (histogram `name` receives elapsed µs on
+/// drop). The hot-path profiling hook: `let _span = span("core.x");`.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    SpanGuard {
+        start: Some((Instant::now(), Registry::global().histogram(name))),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.start.take() {
+            hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_handles() {
+        let registry = Registry::default();
+        let a = registry.counter("test.a");
+        let a2 = registry.counter("test.a");
+        a.add(3);
+        a2.inc();
+        assert_eq!(a.get(), 4);
+        assert!(std::ptr::eq(a, a2), "same name, same handle");
+        assert_eq!(registry.counter_values(), vec![("test.a".into(), 4)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [0u64, 1, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1111);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "value 0");
+        assert_eq!(counts[1], 2, "two 1s");
+        assert_eq!(counts[2], 2, "2 and 3");
+        // p50 lands in the bucket of 2–3 (upper bound 3); p99 in 1000's
+        // bucket (2^10 − 1).
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_of(hi), i, "upper bound stays in its bucket");
+        }
+    }
+
+    #[test]
+    fn span_guard_is_inert_when_disabled() {
+        // The default is disabled; a span must not create the histogram.
+        let was = enabled();
+        set_enabled(false);
+        {
+            let _g = span("test.span.inert");
+        }
+        let names: Vec<String> = Registry::global()
+            .histogram_handles()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(!names.contains(&"test.span.inert".to_string()));
+
+        set_enabled(true);
+        {
+            let _g = span("test.span.live");
+        }
+        assert!(Registry::global().histogram("test.span.live").count() >= 1);
+        set_enabled(was);
+    }
+}

@@ -191,6 +191,22 @@ impl MilestoneKind {
     pub fn from_name(name: &str) -> Option<MilestoneKind> {
         Self::ALL.into_iter().find(|k| k.name() == name)
     }
+
+    /// The [`Phase`](mpca_metrics::Phase) this milestone kind **opens**:
+    /// the simulator's phase clock advances to it when the milestone is
+    /// observed, and every byte charged afterwards is attributed there.
+    /// `OutputDecided` and `Aborted` both open the terminal
+    /// [`Phase::Output`](mpca_metrics::Phase::Output).
+    pub fn phase(self) -> mpca_metrics::Phase {
+        use mpca_metrics::Phase;
+        match self {
+            MilestoneKind::CrsReady => Phase::Crs,
+            MilestoneKind::CommitteeAnnounced => Phase::Committee,
+            MilestoneKind::SharesDistributed => Phase::Sharing,
+            MilestoneKind::VerificationStart => Phase::Verification,
+            MilestoneKind::OutputDecided | MilestoneKind::Aborted => Phase::Output,
+        }
+    }
 }
 
 impl fmt::Display for MilestoneKind {

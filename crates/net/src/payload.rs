@@ -71,6 +71,24 @@ impl PayloadAllocStats {
 fn record_materialisation(bytes: usize) {
     ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
     ALLOC_BUFFERS.fetch_add(1, Ordering::Relaxed);
+    // Mirror into the metrics plane so snapshots expose the same counters
+    // the message-plane experiments read. Handles are cached: the registry
+    // lock is taken once per process, not per allocation.
+    if mpca_metrics::enabled() {
+        static METRICS: OnceLock<(
+            &'static mpca_metrics::Counter,
+            &'static mpca_metrics::Counter,
+        )> = OnceLock::new();
+        let (bytes_counter, buffers_counter) = METRICS.get_or_init(|| {
+            let registry = mpca_metrics::Registry::global();
+            (
+                registry.counter("payload.materialised.bytes"),
+                registry.counter("payload.materialised.buffers"),
+            )
+        });
+        bytes_counter.add(bytes as u64);
+        buffers_counter.inc();
+    }
 }
 
 /// An immutable, cheaply clonable message body.

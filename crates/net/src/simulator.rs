@@ -1,6 +1,9 @@
 //! The synchronous round-driven simulator.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use mpca_metrics::{Phase, PhaseBytes, PhaseClock};
 
 use crate::adversary::{Adversary, AdversaryCtx};
 use crate::envelope::Envelope;
@@ -77,6 +80,13 @@ pub struct RunResult<O> {
     /// [`Simulator::record_trace`] (`None` otherwise). Deterministic across
     /// round drivers, like everything else in the result.
     pub trace: Option<TraceLog>,
+    /// Every charged byte attributed to the protocol phase the execution
+    /// was in when it was sent (the milestone-driven phase clock). A pure
+    /// function of the event stream — deterministic across round drivers
+    /// and backends, inside the equality contract — whose total always
+    /// equals [`CommStats::total_bytes`] (the conservation invariant the
+    /// trace-derived `PhaseLedger` re-derives and reconciles against).
+    pub phase_bytes: PhaseBytes,
 }
 
 impl<O: PartialEq + std::fmt::Debug> RunResult<O> {
@@ -256,6 +266,14 @@ pub struct Simulator<L: PartyLogic> {
     peak_inbox_bytes: u64,
     peak_inbox_envelopes: u64,
     trace: Option<TraceLog>,
+    /// The milestone-driven phase clock (monotone; starts at `Setup`).
+    phase: PhaseClock,
+    /// Bytes charged per phase (see [`RunResult::phase_bytes`]).
+    phase_bytes: PhaseBytes,
+    /// Wall-microseconds spent per phase — live telemetry only, collected
+    /// when the metrics plane is enabled and flushed to the registry at
+    /// termination (never part of deterministic results).
+    phase_wall_us: [u64; Phase::COUNT],
 }
 
 impl<L: PartyLogic> std::fmt::Debug for Simulator<L> {
@@ -325,6 +343,9 @@ impl<L: PartyLogic> Simulator<L> {
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
             trace: None,
+            phase: PhaseClock::new(),
+            phase_bytes: PhaseBytes::new(),
+            phase_wall_us: [0; Phase::COUNT],
         })
     }
 
@@ -340,7 +361,12 @@ impl<L: PartyLogic> Simulator<L> {
     /// executed rounds are not reconstructed).
     pub fn record_trace(&mut self) {
         if self.trace.is_none() {
-            self.trace = Some(TraceLog::new());
+            let mut log = TraceLog::new();
+            // The log carries the charging rule, so trace consumers (the
+            // phase ledger) replay byte attribution without out-of-band
+            // configuration.
+            log.set_charges_adversary_bytes(self.config.count_adversary_bytes);
+            self.trace = Some(log);
         }
     }
 
@@ -431,6 +457,26 @@ impl<L: PartyLogic> Simulator<L> {
     /// not here — finishing early is not a limit overrun).
     pub fn into_result(self) -> Result<RunResult<L::Output>, NetError> {
         if self.is_complete() {
+            // Mirror the session's deterministic phase accounting into the
+            // live registry — one flush per session, so the hot path never
+            // touches an atomic. The registry is telemetry; the returned
+            // `phase_bytes` is the deterministic record.
+            if mpca_metrics::enabled() {
+                let registry = mpca_metrics::Registry::global();
+                // Zero-valued phases flush too: the exported series set is
+                // stable across sessions, which scrapers depend on.
+                for (phase, bytes) in self.phase_bytes.iter() {
+                    registry
+                        .counter(&format!("net.phase.bytes.{phase}"))
+                        .add(bytes);
+                }
+                for (i, wall) in self.phase_wall_us.iter().enumerate() {
+                    registry
+                        .counter(&format!("net.phase.wall_us.{}", Phase::ALL[i]))
+                        .add(*wall);
+                }
+                registry.counter("net.sessions").inc();
+            }
             Ok(RunResult {
                 outcomes: self.outcomes,
                 stats: self.stats,
@@ -438,6 +484,7 @@ impl<L: PartyLogic> Simulator<L> {
                 peak_inbox_bytes: self.peak_inbox_bytes,
                 peak_inbox_envelopes: self.peak_inbox_envelopes,
                 trace: self.trace,
+                phase_bytes: self.phase_bytes,
             })
         } else {
             Err(NetError::ExecutionIncomplete {
@@ -504,6 +551,11 @@ impl<L: PartyLogic> Simulator<L> {
     fn complete_round(&mut self, mut steps: Vec<PartyStep<L::Output>>) -> RoundReport {
         let round = self.round;
         let bytes_before = self.stats.total_bytes();
+        // Wall attribution is live telemetry only (clock read gated on the
+        // metrics switch); the whole round is attributed to the phase it
+        // *started* in, matching the byte-charging order below.
+        let round_timer = mpca_metrics::enabled().then(Instant::now);
+        let wall_phase = self.phase.current();
         let mut newly_terminated = Vec::new();
         let mut next_inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
         let mut round_milestones: Vec<MilestoneEvent> = Vec::new();
@@ -513,6 +565,13 @@ impl<L: PartyLogic> Simulator<L> {
             for envelope in party_step.outgoing {
                 self.stats
                     .record_send(envelope.from, envelope.to, envelope.payload_len());
+                // Honest sends of round r are charged under the phase as of
+                // the round's start: milestones collected this round only
+                // advance the clock after the merge loop, mirroring the
+                // trace's event order (sends → milestones → injections) so
+                // the trace-derived ledger reconciles byte-for-byte.
+                self.phase_bytes
+                    .charge(self.phase.current(), envelope.payload_len() as u64);
                 if let Some(trace) = &mut self.trace {
                     trace.push(TraceEvent::Send {
                         round,
@@ -565,6 +624,12 @@ impl<L: PartyLogic> Simulator<L> {
                 trace.push(TraceEvent::Milestone(event.clone()));
             }
         }
+        // Advance the phase clock on this round's milestones (monotone max,
+        // deterministic in the event stream). Runs whether or not tracing
+        // is on — phase attribution is part of every result.
+        for event in &round_milestones {
+            self.phase.advance_to(event.milestone.kind().phase());
+        }
 
         // The adversary sees everything delivered to corrupted parties this
         // round — plus the round's milestones (public protocol progress a
@@ -591,6 +656,10 @@ impl<L: PartyLogic> Simulator<L> {
             if self.config.count_adversary_bytes {
                 self.stats
                     .record_send(envelope.from, envelope.to, envelope.payload_len());
+                // Injected sends are charged *after* the round's milestones
+                // advanced the clock — same order as the trace records them.
+                self.phase_bytes
+                    .charge(self.phase.current(), envelope.payload_len() as u64);
             }
             if let Some(trace) = &mut self.trace {
                 // Injected sends are tagged distinctly, so the flooding
@@ -623,6 +692,9 @@ impl<L: PartyLogic> Simulator<L> {
         let done = self.outcomes.len() == self.honest.len();
         if done {
             self.stats.set_rounds(self.round);
+        }
+        if let Some(start) = round_timer {
+            self.phase_wall_us[wall_phase.index()] += start.elapsed().as_micros() as u64;
         }
         RoundReport {
             round,

@@ -52,12 +52,30 @@ pub enum TraceEvent {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
+    /// Whether the recording execution charged adversary-injected bytes to
+    /// its statistics ([`SimConfig::count_adversary_bytes`](crate::SimConfig)).
+    /// Carried on the log so trace consumers (the phase ledger) can replay
+    /// the *exact* charging rules without out-of-band configuration. Not
+    /// part of the event stream, so digests ignore it.
+    charges_adversary_bytes: bool,
 }
 
 impl TraceLog {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Marks whether the recording execution charged adversary bytes
+    /// (set by the simulator from its [`SimConfig`](crate::SimConfig)).
+    pub fn set_charges_adversary_bytes(&mut self, charges: bool) {
+        self.charges_adversary_bytes = charges;
+    }
+
+    /// `true` when the recording execution charged adversary-injected
+    /// bytes to its statistics.
+    pub fn charges_adversary_bytes(&self) -> bool {
+        self.charges_adversary_bytes
     }
 
     /// Appends an event (used by the simulator).

@@ -10,6 +10,7 @@
 //!   cargo run -p mpca-scenario --release --bin campaign -- --seed 7 --workers 4 --backend parallel
 //!   cargo run -p mpca-scenario --release --bin campaign -- --sweep --tiny --record trace.json
 //!   cargo run -p mpca-scenario --release --bin campaign -- --replay trace.json --backend parallel
+//!   cargo run -p mpca-scenario --release --bin campaign -- --tiny --metrics metrics.json
 //!   cargo run -p mpca-scenario --release --bin campaign -- --list
 //!
 //! Every run is **traced**: sessions record their full event stream, the
@@ -36,7 +37,8 @@ use mpca_trace::TraceFile;
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--sweep] [--tiny] [--seed N] [--workers N] \
-         [--backend sequential|parallel] [--record PATH] [--replay PATH] [--list]"
+         [--backend sequential|parallel] [--record PATH] [--replay PATH] \
+         [--metrics PATH] [--list]"
     );
     std::process::exit(2);
 }
@@ -90,6 +92,23 @@ fn run_campaign(
     })
 }
 
+/// Writes the campaign's metrics-registry snapshot (JSON, schema
+/// `mpc-aborts/metrics/v1`) to `path`.
+fn write_metrics(path: &str) {
+    let snapshot = mpca_metrics::Snapshot::capture();
+    match std::fs::write(path, snapshot.to_json()) {
+        Ok(()) => eprintln!(
+            "wrote metrics snapshot ({} counters, {} histograms) to {path}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+        ),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -126,8 +145,19 @@ fn main() {
         .iter()
         .position(|a| a == "--replay")
         .map(|pos| parse(&mut args, pos));
+    let metrics: Option<String> = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|pos| parse(&mut args, pos));
     if !args.is_empty() {
         usage();
+    }
+
+    // The metrics plane is off by default (zero hot-path overhead); the
+    // flag turns it on before any session runs so the snapshot covers the
+    // whole campaign.
+    if metrics.is_some() {
+        mpca_metrics::set_enabled(true);
     }
 
     // Replay path: the recorded file names the campaign and seed; the
@@ -189,6 +219,9 @@ fn main() {
                 }
             }
         }
+        if let Some(path) = metrics {
+            write_metrics(&path);
+        }
         return;
     }
 
@@ -229,6 +262,10 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = metrics {
+        write_metrics(&path);
     }
 
     if !report.all_as_expected() {

@@ -213,6 +213,9 @@ impl ScenarioOutcome {
             });
         }
         row.push(if self.as_expected() { "yes" } else { "NO" }.into());
+        for phase in mpca_metrics::Phase::ALL {
+            row.push(self.report.phase_bytes.get(phase).to_string());
+        }
         row
     }
 }
@@ -260,6 +263,7 @@ fn charged_honest_bits(report: &SessionReport) -> u64 {
 ///     peak_inbox_envelopes: 0,
 ///     trace: None,
 ///     wall: Duration::ZERO,
+///     phase_bytes: mpca_metrics::PhaseBytes::new(),
 /// };
 /// let outcome = Oracle::new().evaluate(scenario, report);
 /// assert!(outcome.holds());
@@ -514,6 +518,7 @@ mod tests {
             peak_inbox_envelopes: 0,
             trace: None,
             wall: Duration::ZERO,
+            phase_bytes: mpca_metrics::PhaseBytes::new(),
         }
     }
 

@@ -26,9 +26,10 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Column headers matching [`ScenarioOutcome::row_cells`]: scenario
     /// identity, execution shape, then one verdict column per property in
-    /// [`Property::ALL`](crate::Property::ALL) order and the
-    /// expectation-match column.
-    pub const ROW_HEADERS: [&'static str; 14] = [
+    /// [`Property::ALL`](crate::Property::ALL) order, the expectation-match
+    /// column, and one charged-bytes column per protocol phase in
+    /// [`Phase::ALL`](mpca_metrics::Phase::ALL) order.
+    pub const ROW_HEADERS: [&'static str; 20] = [
         "scenario",
         "protocol",
         "adversary",
@@ -43,6 +44,12 @@ impl CampaignReport {
         "B",
         "L",
         "expected?",
+        "setup B",
+        "crs B",
+        "comm B",
+        "shar B",
+        "verif B",
+        "out B",
     ];
 
     /// Number of scenarios evaluated.
@@ -70,6 +77,36 @@ impl CampaignReport {
     /// `true` when every scenario's verdicts match its expectation.
     pub fn all_as_expected(&self) -> bool {
         self.outcomes.iter().all(ScenarioOutcome::as_expected)
+    }
+
+    /// Per-scenario session walls sorted ascending — the basis for the
+    /// campaign-level latency quantiles.
+    fn sorted_walls(&self) -> Vec<Duration> {
+        let mut walls: Vec<Duration> = self.outcomes.iter().map(|o| o.report.wall).collect();
+        walls.sort_unstable();
+        walls
+    }
+
+    /// Nearest-rank session-wall quantile across the campaign (`q` in
+    /// `[0, 1]`); `Duration::ZERO` on an empty campaign. Telemetry, not part
+    /// of any determinism contract.
+    pub fn wall_quantile(&self, q: f64) -> Duration {
+        let walls = self.sorted_walls();
+        if walls.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * walls.len() as f64).ceil() as usize).clamp(1, walls.len());
+        walls[rank - 1]
+    }
+
+    /// Median session wall across the campaign.
+    pub fn wall_p50(&self) -> Duration {
+        self.wall_quantile(0.50)
+    }
+
+    /// 99th-percentile session wall across the campaign.
+    pub fn wall_p99(&self) -> Duration {
+        self.wall_quantile(0.99)
     }
 
     /// The per-scenario trace summaries of a traced campaign run

@@ -193,6 +193,7 @@ mod tests {
             milestones: events / 2,
             injected_sends: 0,
             aborts: BTreeMap::new(),
+            phase_bytes: mpca_metrics::PhaseBytes::new(),
         }
     }
 

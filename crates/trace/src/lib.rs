@@ -32,9 +32,11 @@
 #![deny(missing_docs)]
 
 mod file;
+mod ledger;
 mod summary;
 mod tagged;
 
 pub use file::{ReplayMismatch, TraceFile, TraceRecord};
+pub use ledger::PhaseLedger;
 pub use summary::{digest_hex, TraceSummary};
 pub use tagged::{TaggedEntry, TaggedTrace};

@@ -3,7 +3,10 @@
 use std::collections::{BTreeMap, HashMap};
 
 use mpca_crypto::sha256;
+use mpca_metrics::PhaseBytes;
 use mpca_net::{AbortReason, Milestone, PartyId, TraceEvent, TraceLog};
+
+use crate::ledger::PhaseLedger;
 
 /// A 128-bit FNV-1a-style accumulator: two independent 64-bit lanes with
 /// distinct offset bases, folded byte-wise over payloads and word-wise over
@@ -139,6 +142,11 @@ pub struct TraceSummary {
     pub injected_sends: u64,
     /// Abort reasons derived from `Aborted { reason }` milestones.
     pub aborts: BTreeMap<PartyId, AbortReason>,
+    /// Charged bytes per protocol phase, re-derived from the event stream
+    /// by the [`PhaseLedger`](crate::PhaseLedger). Deterministic, so it
+    /// rides inside the equality contract — and must equal the live
+    /// `phase_bytes` of the recording execution (the conservation check).
+    pub phase_bytes: PhaseBytes,
 }
 
 impl TraceSummary {
@@ -150,6 +158,7 @@ impl TraceSummary {
             milestones: log.milestones().count() as u64,
             injected_sends: log.injected_sends(),
             aborts: log.abort_reasons(),
+            phase_bytes: PhaseLedger::of(log).bytes,
         }
     }
 }

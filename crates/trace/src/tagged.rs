@@ -42,6 +42,10 @@ pub struct TaggedTrace {
     pub kind: ProtocolKind,
     /// The tagged entries, in stream order.
     pub entries: Vec<TaggedEntry>,
+    /// Whether the recording execution charged adversary-injected bytes
+    /// (copied from [`TraceLog::charges_adversary_bytes`]) — the phase
+    /// ledger replays charging from the tagged view with it.
+    pub charges_adversary_bytes: bool,
 }
 
 impl TaggedTrace {
@@ -78,7 +82,11 @@ impl TaggedTrace {
                 },
             })
             .collect();
-        Self { kind, entries }
+        Self {
+            kind,
+            entries,
+            charges_adversary_bytes: log.charges_adversary_bytes(),
+        }
     }
 
     /// How many sends carry each frame tag (`None` keyed as `"?"`) — the

@@ -17,6 +17,11 @@
 //! * [`encfunc`] — the encrypted functionality `F[PKE, f]` of the paper,
 //! * [`protocols`] — the paper's protocols (Theorems 1, 2 and 4, the
 //!   baselines, and the Theorem 3 lower-bound attack),
+//! * [`metrics`] — the metrics plane: a process-wide low-overhead registry
+//!   (atomic counters, log₂ histograms, span timers) and the
+//!   milestone-driven phase clock that attributes every charged byte and
+//!   wall-microsecond to a protocol phase, with JSON + Prometheus
+//!   exposition,
 //! * [`trace`] — the trace plane: canonical digests over the simulator's
 //!   structured event stream ([`TraceSummary`](trace::TraceSummary)),
 //!   frame-tagged transcripts, and the `campaign --record` / `--replay`
@@ -63,6 +68,7 @@ pub use mpca_core as protocols;
 pub use mpca_crypto as crypto;
 pub use mpca_encfunc as encfunc;
 pub use mpca_engine as engine;
+pub use mpca_metrics as metrics;
 pub use mpca_net as net;
 pub use mpca_scenario as scenario;
 pub use mpca_trace as trace;

@@ -1,0 +1,101 @@
+//! Property tests for the metrics plane's conservation law: every byte the
+//! simulator charges to `CommStats` lands in **exactly one** protocol phase
+//! (the per-phase sums equal the aggregate totals), the trace-derived
+//! `PhaseLedger` reconciles byte-for-byte with the live accounting, and the
+//! whole attribution is backend-independent — across every protocol family
+//! and both execution backends.
+
+use proptest::prelude::*;
+
+use mpc_aborts::engine::{Parallel, Sequential};
+use mpc_aborts::protocols::ProtocolKind;
+use mpc_aborts::scenario::{AdversarySpec, Campaign, CampaignReport, CorruptionSpec, ScenarioPlan};
+
+/// A single-plan campaign running one honest session of `kind`.
+fn family_campaign(kind: ProtocolKind, n: usize, seed: u64) -> Campaign {
+    Campaign::new("phase-prop").plan(
+        ScenarioPlan::new("fam", kind, AdversarySpec::Honest)
+            .with_grid([(n, n)])
+            .with_seed(seed),
+    )
+}
+
+/// Conservation + ledger reconciliation for every session of a traced
+/// campaign report.
+fn assert_conserved(report: &CampaignReport) -> Result<(), proptest::test_runner::TestCaseError> {
+    for outcome in &report.outcomes {
+        // Every charged byte lands in exactly one phase: the six per-phase
+        // counters sum to the aggregate CommStats total.
+        prop_assert_eq!(
+            outcome.report.phase_bytes.total(),
+            outcome.report.stats.total_bytes()
+        );
+        // The offline ledger (a replay of the recorded trace) reconciles
+        // byte-for-byte with the live phase accounting.
+        let summary = outcome.report.trace.as_ref().expect("traced run");
+        prop_assert_eq!(summary.phase_bytes, outcome.report.phase_bytes);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Honest executions of every protocol family, both backends: bytes are
+    /// conserved per phase, the ledger reconciles, and the attribution is
+    /// identical across backends and worker counts.
+    #[test]
+    fn phase_bytes_conserved_for_every_family(
+        kind_idx in 0usize..6,
+        n in 8usize..12,
+        seed in any::<u64>(),
+        workers in 1usize..4,
+    ) {
+        let kind = ProtocolKind::ALL[kind_idx];
+        let campaign = family_campaign(kind, n, seed);
+        let sequential = campaign
+            .run_traced(Sequential, workers)
+            .expect("sequential campaign");
+        let parallel = campaign
+            .run_traced(Parallel::default(), workers)
+            .expect("parallel campaign");
+        assert_conserved(&sequential)?;
+        assert_conserved(&parallel)?;
+        for (a, b) in sequential.outcomes.iter().zip(parallel.outcomes.iter()) {
+            prop_assert_eq!(a.report.phase_bytes, b.report.phase_bytes);
+        }
+    }
+
+    /// Adversarial executions too: a flooding adversary (with and without
+    /// the adversary-byte charging control) must not break conservation —
+    /// injected bytes either land in a phase (charged) or stay out of both
+    /// the stats and the phase counters (uncharged).
+    #[test]
+    fn phase_bytes_conserved_under_flooding(
+        n in 8usize..11,
+        junk in 64usize..512,
+        seed in any::<u64>(),
+        charge in any::<bool>(),
+    ) {
+        let mut plan = ScenarioPlan::new(
+            "flood",
+            ProtocolKind::UncheckedSum,
+            AdversarySpec::Flood {
+                corrupt: CorruptionSpec::Seeded { count: 1 },
+                victims: vec![],
+                junk_bytes: junk,
+                round_budget: None,
+            },
+        )
+        .with_grid([(n, n - 1)])
+        .with_seed(seed);
+        if charge {
+            plan = plan.charging_adversary_bytes();
+        }
+        let campaign = Campaign::new("phase-flood").plan(plan);
+        let report = campaign
+            .run_traced(Sequential, 1)
+            .expect("flood campaign");
+        assert_conserved(&report)?;
+    }
+}
