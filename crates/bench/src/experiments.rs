@@ -1077,6 +1077,138 @@ pub fn exp_metrics() -> Table {
     table
 }
 
+/// Pre-optimisation hot-path walls (milliseconds, release, single-core),
+/// measured at the commit preceding the asymptotic-regime restructuring:
+/// the index-addressed inbox plane, batched fan-out accounting, CRS matrix
+/// memoization and the Montgomery fingerprint/Miller–Rabin arithmetic. Keyed
+/// by `(family, n)`; `E19` reports the speedup of the current implementation
+/// against these at the matching grid points.
+const PRE_OPT_WALLS_MS: &[(&str, usize, f64)] = &[
+    ("thm1-mpc", 256, 211.0),
+    ("thm2-local-mpc", 96, 228.0),
+    ("thm4-tradeoff", 96, 1200.0),
+    ("broadcast", 256, 37.9),
+    ("all-to-all", 128, 570.0),
+    ("all-to-all", 256, 4400.0),
+    ("unchecked-sum", 256, 28.0),
+];
+
+/// `E19-asymptotics` — the asymptotic regime made routine, and the polylog
+/// factors measured instead of extrapolated.
+///
+/// One honest single-core session per family per grid point, with the grid
+/// reaching `n = 1024` for the `Õ(n²)`-traffic families and `n = 512` for
+/// the `Õ(n³)`-traffic gossip families. Each row reports the theorem's
+/// normalised constants (`bits·h/n²` for Theorem 1, `bits·h/n³` for
+/// Theorem 2, `bits·h^{3/2}/n³` for Theorem 4) — flat for the right column
+/// up to the polylog factor — plus the explicitly fitted `log₂(n)^k`
+/// exponent of the family's budget curve
+/// ([`mpca_core::BudgetCurve::fitted_log_exponent`]). Rows whose `(family,
+/// n)` matches a pre-optimisation profile point also report the hot-path
+/// speedup against the `PRE_OPT_WALLS_MS` profile table.
+///
+/// `MPCA_E19_MAX_N` caps the grid (CI runs the `n ≤ 256` slice and gates
+/// the all-to-all wall against a checked-in baseline); unset, everything
+/// runs.
+pub fn exp_asymptotics() -> Table {
+    let max_n: usize = std::env::var("MPCA_E19_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let mut table = Table::new(
+        "E19-asymptotics",
+        "Asymptotic-regime scaling: honest single-core sessions out to n = 1024 (n = 512 for \
+         the n³-traffic gossip families), theorem-normalised constants, the fitted polylog \
+         exponent per family, and hot-path speedups vs the pre-optimisation walls.",
+        &[
+            "family",
+            "n",
+            "h",
+            "bits",
+            "bits·h/n²",
+            "bits·h/n³",
+            "bits·h^1.5/n³",
+            "fitted log-k",
+            "rounds",
+            "wall ms",
+            "pre-opt ms",
+            "speedup",
+        ],
+    );
+    let grid: &[(ProtocolKind, usize, usize)] = &[
+        (ProtocolKind::Theorem1Mpc, 256, 128),
+        (ProtocolKind::Theorem1Mpc, 512, 256),
+        (ProtocolKind::Theorem1Mpc, 1024, 512),
+        (ProtocolKind::Theorem2LocalMpc, 96, 48),
+        (ProtocolKind::Theorem2LocalMpc, 256, 128),
+        (ProtocolKind::Theorem2LocalMpc, 512, 256),
+        (ProtocolKind::Theorem4Tradeoff, 96, 48),
+        (ProtocolKind::Theorem4Tradeoff, 256, 128),
+        (ProtocolKind::Theorem4Tradeoff, 512, 256),
+        (ProtocolKind::Broadcast, 256, 254),
+        (ProtocolKind::Broadcast, 512, 510),
+        (ProtocolKind::Broadcast, 1024, 1022),
+        (ProtocolKind::SuccinctAllToAll, 128, 126),
+        (ProtocolKind::SuccinctAllToAll, 256, 254),
+        (ProtocolKind::SuccinctAllToAll, 512, 510),
+        (ProtocolKind::SuccinctAllToAll, 1024, 1022),
+        (ProtocolKind::UncheckedSum, 256, 254),
+        (ProtocolKind::UncheckedSum, 512, 510),
+        (ProtocolKind::UncheckedSum, 1024, 1022),
+    ];
+    for &(kind, n, h) in grid {
+        if n > max_n {
+            continue;
+        }
+        let plan = mpca_scenario::ScenarioPlan::new(
+            format!("e19-{}", kind.name()),
+            kind,
+            mpca_scenario::AdversarySpec::Honest,
+        )
+        // Seed 7 matches the hot-path digest grid the pre-optimisation
+        // walls were profiled on, so the speedup column compares identical
+        // executions.
+        .with_grid([(n, h)])
+        .with_seed(7);
+        let scenario = plan.scenarios().remove(0);
+        let mut pool = SessionPool::new(Sequential).with_workers(1);
+        mpca_scenario::registry::submit_scenario(&mut pool, &scenario);
+        let start = std::time::Instant::now();
+        let batch = pool.run().expect("asymptotic-regime session runs");
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let session = batch.sessions.into_iter().next().expect("one session");
+        assert!(
+            !session.any_abort(),
+            "honest {} run at n = {n} must not abort",
+            kind.name()
+        );
+        let bits = session.stats.total_bytes() * 8;
+        let (nf, hf) = (n as f64, h as f64);
+        let fitted_k = mpca_core::BudgetCurve::for_kind(kind)
+            .map(|curve| format!("{:.2}", curve.fitted_log_exponent()))
+            .unwrap_or_else(|| "-".into());
+        let pre_opt = PRE_OPT_WALLS_MS
+            .iter()
+            .find(|(name, pre_n, _)| *name == kind.name() && *pre_n == n)
+            .map(|(_, _, ms)| *ms);
+        table.push_row(vec![
+            kind.name().to_string(),
+            n.to_string(),
+            h.to_string(),
+            bits.to_string(),
+            format!("{:.0}", bits as f64 * hf / (nf * nf)),
+            format!("{:.1}", bits as f64 * hf / (nf * nf * nf)),
+            format!("{:.1}", bits as f64 * hf * hf.sqrt() / (nf * nf * nf)),
+            fitted_k,
+            session.rounds.to_string(),
+            format!("{wall_ms:.1}"),
+            pre_opt.map_or_else(|| "-".into(), |ms| format!("{ms:.1}")),
+            pre_opt.map_or_else(|| "-".into(), |ms| format!("{:.1}x", ms / wall_ms)),
+        ]);
+    }
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -1101,6 +1233,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E16-sweep", exp_sweep),
         ("E17-trace", exp_trace_overhead),
         ("E18-metrics", exp_metrics),
+        ("E19-asymptotics", exp_asymptotics),
     ]
 }
 
@@ -1149,7 +1282,7 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 18);
+        assert_eq!(all_experiments().len(), 19);
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! catch constant-factor regressions, not just asymptotic ones. Protocols
 //! whose traffic depends on CRS-seeded committee draws
 //! ([`crs_variant_traffic`](ProtocolKind::crs_variant_traffic)) additionally
-//! floor each point at the grid-wide normalised-constant fit, so an unlucky
+//! floor each point at the grid-wide fitted envelope, so an unlucky
 //! calibration draw cannot produce a budget a lucky execution draw would
-//! overshoot. Off-grid parameters fall back to the fitted theorem shape;
-//! when the fixture is absent entirely, the legacy calibrated constants
-//! apply. DESIGN.md §7 documents the derivation.
+//! overshoot. Off-grid parameters get the fitted envelope — the theorem
+//! shape times an explicitly fitted `log₂(n)^k` polylog factor, measurable
+//! now that the grid reaches `n = 512` — at the same slack; when the
+//! fixture is absent entirely, the legacy calibrated constants apply.
+//! DESIGN.md §7 documents the derivation.
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -152,14 +154,37 @@ impl ProtocolKind {
     /// standing campaigns and tests that are not part of the sweep grid.
     /// Their goldens keep the tight per-point budgets exact wherever the
     /// oracle actually runs.
+    ///
+    /// The tail of each list reaches into the **asymptotic regime**
+    /// (`n ∈ {192, 256, 384, 512}` where a debug-mode calibration run stays
+    /// affordable): those points give the log-factor fit of
+    /// [`BudgetCurve::fitted_log_exponent`] the spread it needs, instead of
+    /// extrapolating polylog growth from `n ≤ 48`. The `Õ(n³)`-traffic
+    /// gossip families are calibrated as far as a `cargo test` run can
+    /// carry them; the `E19-asymptotics` bench experiment measures them
+    /// further out in release mode.
     pub fn calibration_extras(self) -> &'static [(usize, usize)] {
         match self {
-            ProtocolKind::Theorem1Mpc => &[(8, 6), (8, 8), (16, 14), (16, 15), (24, 20)],
-            ProtocolKind::Theorem2LocalMpc => &[(8, 6), (8, 8), (16, 13)],
-            ProtocolKind::Theorem4Tradeoff => &[(8, 6), (8, 8), (16, 14)],
-            ProtocolKind::Broadcast => &[],
-            ProtocolKind::SuccinctAllToAll => &[(10, 9)],
-            ProtocolKind::UncheckedSum => &[(9, 7)],
+            ProtocolKind::Theorem1Mpc => &[
+                (8, 6),
+                (8, 8),
+                (16, 14),
+                (16, 15),
+                (24, 20),
+                (192, 96),
+                (256, 128),
+                (384, 192),
+                (512, 256),
+            ],
+            ProtocolKind::Theorem2LocalMpc => {
+                &[(8, 6), (8, 8), (16, 13), (48, 24), (64, 32), (96, 48)]
+            }
+            ProtocolKind::Theorem4Tradeoff => {
+                &[(8, 6), (8, 8), (16, 14), (48, 24), (64, 32), (96, 48)]
+            }
+            ProtocolKind::Broadcast => &[(192, 190), (256, 254), (384, 382), (512, 510)],
+            ProtocolKind::SuccinctAllToAll => &[(10, 9), (192, 190), (256, 254)],
+            ProtocolKind::UncheckedSum => &[(9, 7), (192, 190), (256, 254), (384, 382), (512, 510)],
         }
     }
 
@@ -310,7 +335,10 @@ pub struct CalibrationPoint {
 /// point is additionally floored at the grid-wide normalised-constant fit
 /// (`max` over points of `bits / comm_shape`), which absorbs the
 /// committee-draw variance two honest labels can legitimately differ by.
-/// Off-grid parameters use the fitted shape alone.
+/// Off-grid parameters use the fitted envelope — theorem shape ×
+/// explicitly fitted `log₂(n)^k` factor
+/// ([`fitted_log_exponent`](Self::fitted_log_exponent)) — at the same
+/// slack.
 #[derive(Debug, Clone)]
 pub struct BudgetCurve {
     kind: ProtocolKind,
@@ -340,27 +368,76 @@ impl BudgetCurve {
             .find(|p| p.n == n && (!want_h || p.h == h))
     }
 
-    /// The grid-wide normalised-constant fit: the max over calibration
-    /// points of `honest_bits / comm_shape`. Scaling the theorem shape by
-    /// this constant reproduces the measured envelope across the grid.
-    pub fn fitted_comm_constant(&self) -> f64 {
+    /// The fitted polylog exponent `k` of the model
+    /// `bits ≈ C · comm_shape(n, h, ℓ) · log₂(n)^k` — a least-squares fit
+    /// over the calibration grid in `(ln log₂ n, ln(bits / shape))` space.
+    ///
+    /// The theorem statements hide polylog factors inside `Õ(·)`; with the
+    /// grid now reaching into the asymptotic regime (`n` up to 512) the
+    /// residual `bits / shape` carries enough spread to measure that factor
+    /// instead of hand-waving it. Clamped to `[0, 4]` (the paper's hidden
+    /// factors are at most a few powers of `log n`); degenerate grids (all
+    /// points at one `n`) fit `k = 0`, reducing to the plain constant fit.
+    pub fn fitted_log_exponent(&self) -> f64 {
+        let samples: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| {
+                let shape = self.kind.comm_shape(p.n, p.h, p.payload_bytes);
+                let log_n = (p.n as f64).log2().max(1.0);
+                (log_n.ln(), (p.honest_bits as f64 / shape).ln())
+            })
+            .collect();
+        let m = samples.len() as f64;
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let x_bar = samples.iter().map(|s| s.0).sum::<f64>() / m;
+        let y_bar = samples.iter().map(|s| s.1).sum::<f64>() / m;
+        let sxx: f64 = samples.iter().map(|s| (s.0 - x_bar).powi(2)).sum();
+        if sxx < 1e-9 {
+            return 0.0;
+        }
+        let sxy: f64 = samples.iter().map(|s| (s.0 - x_bar) * (s.1 - y_bar)).sum();
+        (sxy / sxx).clamp(0.0, 4.0)
+    }
+
+    /// The envelope constant `C` of the fitted log model: the max over
+    /// calibration points of `bits / (shape · log₂(n)^k)`, so the fitted
+    /// envelope dominates **every** grid measurement by construction.
+    fn fitted_envelope_constant(&self, k: f64) -> f64 {
         self.points
             .iter()
-            .map(|p| p.honest_bits as f64 / self.kind.comm_shape(p.n, p.h, p.payload_bytes))
+            .map(|p| {
+                let shape = self.kind.comm_shape(p.n, p.h, p.payload_bytes);
+                p.honest_bits as f64 / (shape * (p.n as f64).log2().max(1.0).powf(k))
+            })
             .fold(0.0, f64::max)
+    }
+
+    /// The fitted envelope in bits at `(n, h, ℓ)`:
+    /// `C · comm_shape(n, h, ℓ) · log₂(n)^k` with `k` from
+    /// [`fitted_log_exponent`](Self::fitted_log_exponent) and `C` the
+    /// grid-wide envelope constant under that exponent.
+    pub fn fitted_envelope_bits(&self, n: usize, h: usize, payload_bytes: usize) -> f64 {
+        let k = self.fitted_log_exponent();
+        self.fitted_envelope_constant(k)
+            * self.kind.comm_shape(n, h, payload_bytes)
+            * (n as f64).log2().max(1.0).powf(k)
     }
 
     /// The communication budget in bits at `params` with payload ℓ =
     /// `payload_bytes` (see the type docs for the derivation).
     ///
-    /// **Off-grid** parameters get the fitted theorem shape *clamped up to*
-    /// the legacy hand constants: the fit omits the polylog factors real
-    /// measurements include (e.g. Theorem 2 at `n = 96` measures above a
-    /// fit from `n ≤ 32` points), so an uncalibrated honest run must never
-    /// be false-flagged. Tight verdicts come from calibrated points only.
+    /// **Off-grid** parameters get the fitted-envelope verdict at the same
+    /// [`BUDGET_SLACK`]× slack as calibrated points: the explicit log-factor
+    /// fit (grid reaching `n = 512`) replaces the former clamp up to the
+    /// legacy ~10× hand constants, which existed only because a constant
+    /// fit from `n ≤ 48` points undershot the polylog growth real
+    /// measurements include.
     pub fn comm_budget_bits(&self, params: &ProtocolParams, payload_bytes: usize) -> u64 {
         let shape = self.kind.comm_shape(params.n, params.h, payload_bytes);
-        let fitted = self.fitted_comm_constant() * shape;
+        let fitted = self.fitted_envelope_bits(params.n, params.h, payload_bytes);
         let envelope = match self.calibration_point(params.n, params.h) {
             Some(point) => {
                 // Rescale the measured point if the requested payload
@@ -373,10 +450,7 @@ impl BudgetCurve {
                     measured
                 }
             }
-            None => {
-                return ((BUDGET_SLACK as f64 * fitted).ceil() as u64)
-                    .max(self.kind.fallback_budget_bits(params, payload_bytes))
-            }
+            None => fitted,
         };
         (BUDGET_SLACK as f64 * envelope).ceil() as u64
     }
@@ -384,9 +458,9 @@ impl BudgetCurve {
     /// The locality budget at `params`: [`BUDGET_SLACK`]× the measured
     /// per-point locality envelope (floored at the grid-wide fit for
     /// CRS-variant families, like the bit budgets), capped at `n - 1`.
-    /// Off-grid parameters get the `n - 1` cap outright — the locality fit
-    /// has the same missing-polylog caveat as the bit fit, and a full-mesh
-    /// bound is always sound.
+    /// Off-grid parameters get the `n - 1` cap outright — locality counts
+    /// peers, where a full-mesh bound is always sound and the polylog
+    /// residual is too small to fit meaningfully.
     pub fn locality_budget(&self, params: &ProtocolParams) -> usize {
         let cap = params.n.saturating_sub(1).max(1);
         let shape = self.kind.locality_shape(params.n, params.h);
@@ -518,9 +592,10 @@ mod tests {
                     > kind.comm_budget_bits(&ProtocolParams::new(32, 8), 32)
             );
         }
-        // Off-grid budgets never dip below the legacy constants, so the
-        // measured E1/E2/E3 envelopes at paper-scale parameters stay
-        // covered even though those points are uncalibrated.
+        // The fitted envelopes (log-factor fit over the asymptotic-regime
+        // grid) must still cover the measured E1/E2/E3 envelopes at
+        // paper-scale parameters — the fitted-envelope verdict replaced the
+        // legacy clamp, so this is the no-false-flag guarantee now.
         let e1 = ProtocolParams::new(64, 8);
         assert!(ProtocolKind::Theorem1Mpc.comm_budget_bits(&e1, 2) > 30_553_088);
         let e2 = ProtocolParams::new(96, 48);
@@ -566,19 +641,22 @@ mod tests {
         assert_eq!(curves.len(), 2, "unknown protocols are skipped");
 
         // h-insensitive: exact per-point budget is slack × measured, however
-        // h is spelled; off-grid n falls back to the fitted shape.
+        // h is spelled; off-grid n gets the fitted-envelope verdict. With a
+        // single grid point there is no spread to fit a log factor from, so
+        // k = 0 and the envelope is the plain normalised-constant fit.
         let sum = &curves[&ProtocolKind::UncheckedSum];
         let params = ProtocolParams::new(8, 7);
         assert_eq!(sum.comm_budget_bits(&params, 8), 2 * 4000);
         assert_eq!(sum.locality_budget(&params), 7, "2×7 capped at n − 1");
         let off_grid = ProtocolParams::new(16, 14);
+        assert_eq!(sum.fitted_log_exponent(), 0.0, "one point → no log fit");
         let fitted = 4000.0 / ProtocolKind::UncheckedSum.comm_shape(8, 6, 8);
-        let shape_fit = (2.0 * fitted * ProtocolKind::UncheckedSum.comm_shape(16, 14, 8)) as u64;
-        let legacy = ProtocolKind::UncheckedSum.fallback_budget_bits(&off_grid, 8);
+        let shape_fit =
+            (2.0 * fitted * ProtocolKind::UncheckedSum.comm_shape(16, 14, 8)).ceil() as u64;
         assert_eq!(
             sum.comm_budget_bits(&off_grid, 8),
-            shape_fit.max(legacy),
-            "off-grid budgets clamp up to the legacy constants"
+            shape_fit,
+            "off-grid budgets are the fitted envelope at the same slack"
         );
         assert_eq!(
             sum.locality_budget(&off_grid),
@@ -603,6 +681,51 @@ mod tests {
         assert_eq!(
             lucky.comm_budget_bits(&ProtocolParams::new(16, 8), 2),
             2 * 6250 * 32
+        );
+    }
+
+    #[test]
+    fn log_factor_is_fitted_from_grid_spread() {
+        // Synthetic grid following bits = 1000 · shape · log₂(n) exactly:
+        // the fit must recover k = 1 and the off-grid envelope must carry
+        // the log factor instead of extrapolating the bare theorem shape.
+        let kind = ProtocolKind::UncheckedSum;
+        let lines: Vec<String> = [8usize, 16, 32, 64, 128]
+            .into_iter()
+            .map(|n| {
+                let bits = (1000.0 * kind.comm_shape(n, n - 2, 8) * (n as f64).log2()) as u64;
+                format!(
+                    "{{\"protocol\":\"unchecked-sum\",\"n\":{n},\"h\":{},\"payload_bytes\":8,\
+                     \"honest_bits\":{bits},\"max_locality\":{}}}",
+                    n - 2,
+                    n - 1
+                )
+            })
+            .collect();
+        let curves = parse_curves(&lines.join("\n"));
+        let curve = &curves[&kind];
+        let k = curve.fitted_log_exponent();
+        assert!((k - 1.0).abs() < 0.05, "fitted k = {k}, expected ≈ 1");
+        // Off-grid at n = 256: the envelope must sit within a few percent
+        // of the generating model (the envelope constant is a max over
+        // near-identical per-point constants, so it cannot undershoot).
+        let model = 1000.0 * kind.comm_shape(256, 254, 8) * 8.0;
+        let envelope = curve.fitted_envelope_bits(256, 254, 8);
+        assert!(
+            envelope >= model * 0.98 && envelope <= model * 1.10,
+            "envelope {envelope} vs model {model}"
+        );
+        // And a constant-only grid (k = 0) stays a pure shape fit.
+        let flat = parse_curves(
+            "{\"protocol\":\"unchecked-sum\",\"n\":8,\"h\":6,\"payload_bytes\":8,\
+             \"honest_bits\":4000,\"max_locality\":7}\n\
+             {\"protocol\":\"unchecked-sum\",\"n\":16,\"h\":14,\"payload_bytes\":8,\
+             \"honest_bits\":16000,\"max_locality\":15}",
+        );
+        let flat_k = flat[&kind].fitted_log_exponent();
+        assert!(
+            flat_k.abs() < 1e-6,
+            "shape-proportional grid fits k = 0, got {flat_k}"
         );
     }
 }

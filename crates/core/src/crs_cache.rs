@@ -1,0 +1,81 @@
+//! Process-wide memoization of CRS-derived shared state.
+//!
+//! Every party of a session regenerates identical CRS-seeded artefacts —
+//! most expensively the shared LWE matrix `A` — from a fresh labelled PRG.
+//! The matrix is a pure function of (CRS seed, label, parameters), so the
+//! per-party regeneration is `O(n · |A|)` PRG work for an `O(|A|)` object:
+//! the dominant setup cost of the Theorem 1/4 families in the asymptotic
+//! regime. This cache collapses it to one generation per distinct key,
+//! shared via `Arc` across parties, sessions and pool workers.
+//!
+//! Memoization is output-identical by construction: the generating PRG is
+//! created fresh per call ([`CommonRandomString::shared_prg`]) and consumed
+//! by nothing else, so reusing the result changes no other draw anywhere in
+//! the system — trace digests and byte accounting are untouched.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mpca_crypto::lwe::LweParams;
+use mpca_encfunc::keygen::shared_matrix_from_crs;
+use mpca_net::CommonRandomString;
+
+/// Cache key: CRS seed, derivation label, and the parameters that shape the
+/// matrix (entry count and draw modulus).
+type Key = ([u8; 32], Vec<u8>, usize, usize, u64);
+
+/// Bound on retained matrices. Campaign sweeps rotate CRS seeds, so the
+/// cache is cleared wholesale when full — any eviction beats unbounded
+/// growth, and a miss only costs one regeneration.
+const MAX_ENTRIES: usize = 64;
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Vec<u64>>>>> = OnceLock::new();
+
+/// Returns the CRS-derived shared LWE matrix for `(crs, label, params)`,
+/// generating it once per distinct key and sharing the buffer thereafter.
+///
+/// Equivalent to
+/// `shared_matrix_from_crs(params, &mut crs.shared_prg(label))` — same
+/// entries, same everything — minus the redundant per-party PRG work.
+pub fn shared_matrix(params: &LweParams, crs: &CommonRandomString, label: &[u8]) -> Arc<Vec<u64>> {
+    let key = (
+        crs.seed(),
+        label.to_vec(),
+        params.pk_rows,
+        params.dim,
+        params.modulus,
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("crs cache poisoned").get(&key) {
+        return Arc::clone(hit);
+    }
+    // Generate outside the lock: matrices are large and concurrent pool
+    // workers should not serialise on each other's misses. A racing double
+    // generation is benign (identical values; first insert wins).
+    let matrix = Arc::new(shared_matrix_from_crs(params, &mut crs.shared_prg(label)));
+    let mut guard = cache.lock().expect("crs cache poisoned");
+    if guard.len() >= MAX_ENTRIES {
+        guard.clear();
+    }
+    Arc::clone(guard.entry(key).or_insert(matrix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_matrix_matches_direct_generation_and_is_shared() {
+        let params = LweParams::toy();
+        let crs = CommonRandomString::from_label(b"cache-test");
+        let direct = shared_matrix_from_crs(&params, &mut crs.shared_prg(b"label-a"));
+        let cached = shared_matrix(&params, &crs, b"label-a");
+        assert_eq!(*cached, direct, "cache must be output-identical");
+        let again = shared_matrix(&params, &crs, b"label-a");
+        assert!(Arc::ptr_eq(&cached, &again), "second lookup must share");
+        let other_label = shared_matrix(&params, &crs, b"label-b");
+        assert_ne!(*other_label, direct, "labels must not collide");
+        let other_crs = shared_matrix(&params, &CommonRandomString::from_label(b"x"), b"label-a");
+        assert_ne!(*other_crs, direct, "seeds must not collide");
+    }
+}

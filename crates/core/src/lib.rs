@@ -37,6 +37,7 @@ pub mod all_to_all;
 pub mod broadcast;
 pub mod catalog;
 pub mod committee;
+pub mod crs_cache;
 pub mod equality;
 pub mod frames;
 pub mod gossip;

@@ -29,7 +29,7 @@ use mpca_crypto::fingerprint::{EqualityChallenge, EqualityResponse};
 use mpca_crypto::lwe::{LweCiphertext, LwePublicKey};
 use mpca_crypto::threshold::{combine_partials, PartialDecryption, ThresholdDecryptor};
 use mpca_crypto::Prg;
-use mpca_encfunc::keygen::{combine_contributions, shared_matrix_from_crs, KeygenContribution};
+use mpca_encfunc::keygen::{combine_contributions, KeygenContribution};
 use mpca_encfunc::linear;
 use mpca_encfunc::spec::Functionality;
 use mpca_encfunc::SharedHost;
@@ -153,7 +153,7 @@ pub struct MpcParty {
     input: Vec<u8>,
     prg: Prg,
     host: Option<SharedHost>,
-    shared_a: Vec<u64>,
+    shared_a: std::sync::Arc<Vec<u64>>,
 
     // Phase state.
     elect: Option<CommitteeElectParty>,
@@ -215,7 +215,7 @@ impl MpcParty {
                 assert!(host.is_some(), "the hybrid path requires a shared host")
             }
         }
-        let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"mpc-lwe-matrix"));
+        let shared_a = crate::crs_cache::shared_matrix(&params.lwe, &crs, b"mpc-lwe-matrix");
         let prg = crs.party_prg(id, b"mpc-party");
         let elect = CommitteeElectParty::new(id, params, crs.party_prg(id, b"mpc-elect"));
         Self {
@@ -259,7 +259,7 @@ impl MpcParty {
         }
         Some(LwePublicKey {
             params: self.params.lwe,
-            a: self.shared_a.clone(),
+            a: self.shared_a.as_ref().clone(),
             b: b.to_vec(),
         })
     }
@@ -725,7 +725,9 @@ pub fn hybrid_host(
     functionality: &Functionality,
     crs: &CommonRandomString,
 ) -> SharedHost {
-    let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"mpc-lwe-matrix"));
+    let shared_a = crate::crs_cache::shared_matrix(&params.lwe, crs, b"mpc-lwe-matrix")
+        .as_ref()
+        .clone();
     mpca_encfunc::EncFuncHost::new(
         params.lwe,
         mpca_encfunc::hybrid::HostFunctionality::Single(functionality.clone()),

@@ -20,7 +20,6 @@ use mpca_crypto::lwe::LweCiphertext;
 use mpca_crypto::merkle_sig::MerkleSigPublicKey;
 use mpca_crypto::ske::SymmetricKey;
 use mpca_crypto::Prg;
-use mpca_encfunc::keygen::shared_matrix_from_crs;
 use mpca_encfunc::signing::SignedOutput;
 use mpca_encfunc::spec::MultiOutputFunctionality;
 use mpca_encfunc::SharedHost;
@@ -132,7 +131,7 @@ pub struct MultiOutputParty {
     input: Vec<u8>,
     prg: Prg,
     host: SharedHost,
-    shared_a: Vec<u64>,
+    shared_a: std::sync::Arc<Vec<u64>>,
 
     elect: Option<CommitteeElectParty>,
     committee: BTreeSet<PartyId>,
@@ -172,8 +171,7 @@ impl MultiOutputParty {
             functionality.input_bytes(),
             "input width does not match the functionality"
         );
-        let shared_a =
-            shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"multi-lwe-matrix"));
+        let shared_a = crate::crs_cache::shared_matrix(&params.lwe, &crs, b"multi-lwe-matrix");
         Self {
             id,
             params,
@@ -214,7 +212,7 @@ impl MultiOutputParty {
         }
         Some(mpca_crypto::lwe::LwePublicKey {
             params: self.params.lwe,
-            a: self.shared_a.clone(),
+            a: self.shared_a.as_ref().clone(),
             b: b.to_vec(),
         })
     }
@@ -568,7 +566,9 @@ pub fn multi_output_host(
     functionality: &MultiOutputFunctionality,
     crs: &CommonRandomString,
 ) -> SharedHost {
-    let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"multi-lwe-matrix"));
+    let shared_a = crate::crs_cache::shared_matrix(&params.lwe, crs, b"multi-lwe-matrix")
+        .as_ref()
+        .clone();
     mpca_encfunc::EncFuncHost::new(
         params.lwe,
         mpca_encfunc::hybrid::HostFunctionality::Multi(functionality.clone()),

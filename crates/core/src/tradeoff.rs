@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use mpca_crypto::lwe::LweCiphertext;
 use mpca_crypto::threshold::{combine_partials, PartialDecryption, ThresholdDecryptor};
 use mpca_crypto::Prg;
-use mpca_encfunc::keygen::{combine_contributions, shared_matrix_from_crs, KeygenContribution};
+use mpca_encfunc::keygen::{combine_contributions, KeygenContribution};
 use mpca_encfunc::linear;
 use mpca_encfunc::spec::Functionality;
 use mpca_encfunc::SharedHost;
@@ -53,7 +53,7 @@ pub struct TradeoffParty {
     input: Vec<u8>,
     prg: Prg,
     host: Option<SharedHost>,
-    shared_a: Vec<u64>,
+    shared_a: std::sync::Arc<Vec<u64>>,
 
     elect: Option<LocalCommitteeElectParty>,
     committee: BTreeSet<PartyId>,
@@ -115,8 +115,7 @@ impl TradeoffParty {
                 assert!(host.is_some(), "the hybrid path requires a shared host")
             }
         }
-        let shared_a =
-            shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"tradeoff-lwe-matrix"));
+        let shared_a = crate::crs_cache::shared_matrix(&params.lwe, &crs, b"tradeoff-lwe-matrix");
         Self {
             id,
             params,
@@ -157,7 +156,7 @@ impl TradeoffParty {
         }
         Some(mpca_crypto::lwe::LwePublicKey {
             params: self.params.lwe,
-            a: self.shared_a.clone(),
+            a: self.shared_a.as_ref().clone(),
             b: b.to_vec(),
         })
     }
@@ -685,7 +684,9 @@ pub fn hybrid_host(
     functionality: &Functionality,
     crs: &CommonRandomString,
 ) -> SharedHost {
-    let shared_a = shared_matrix_from_crs(&params.lwe, &mut crs.shared_prg(b"tradeoff-lwe-matrix"));
+    let shared_a = crate::crs_cache::shared_matrix(&params.lwe, crs, b"tradeoff-lwe-matrix")
+        .as_ref()
+        .clone();
     mpca_encfunc::EncFuncHost::new(
         params.lwe,
         mpca_encfunc::hybrid::HostFunctionality::Single(functionality.clone()),

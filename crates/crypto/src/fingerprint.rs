@@ -11,7 +11,7 @@
 use mpca_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::prg::Prg;
-use crate::primes::random_prime_with_bits;
+use crate::primes::{random_prime_with_bits, Montgomery};
 
 /// Computes the fingerprint of `message` modulo `p`, interpreting the bytes
 /// as a big-endian integer (Horner evaluation).
@@ -24,12 +24,51 @@ use crate::primes::random_prime_with_bits;
 /// ```
 pub fn fingerprint(message: &[u8], p: u64) -> u64 {
     assert!(p > 1, "modulus must exceed 1");
-    let mut acc: u64 = 0;
-    for &byte in message {
-        // acc = acc * 256 + byte (mod p)
-        acc = ((acc as u128 * 256 + byte as u128) % p as u128) as u64;
+    if p.is_multiple_of(2) || p > 1 << 62 {
+        // Generic byte-wise Horner. Montgomery needs an odd modulus and the
+        // limb recurrence needs ≤62-bit headroom; the random primes of
+        // Lemma 5 always satisfy both, so this branch only serves direct
+        // callers with unusual moduli.
+        let p128 = p as u128;
+        let mut acc: u128 = 0;
+        for &byte in message {
+            acc = (acc * 256 + byte as u128) % p128;
+        }
+        return acc as u64;
     }
-    acc
+    // Horner over 8-byte big-endian limbs in the Montgomery domain: one
+    // step costs two multiply-shift reductions and an addition — no u128
+    // division at all. The result is the same big-endian integer mod p as
+    // the byte-wise recurrence (Montgomery form is converted back exactly).
+    let mont = Montgomery::new(p);
+    let head_len = message.len() % 8;
+    let (head, body) = message.split_at(head_len);
+    let mut head_acc: u128 = 0;
+    for &byte in head {
+        head_acc = (head_acc * 256 + byte as u128) % p as u128;
+    }
+    // acc_m = acc · R (mod p); the limb step acc' = acc · 2^64 + limb maps
+    // to acc'_m = mont_mul(acc_m, R² mod p) + mont_mul(limb, R² mod p),
+    // because base · R = (2^64 mod p) · R = R² (mod p).
+    let mut acc_m = mont.mul(head_acc as u64, mont.r2);
+    for chunk in body.chunks_exact(8) {
+        let limb = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        let shifted = mont.mul(acc_m, mont.r2);
+        let limb_m = mont.mul(limb, mont.r2);
+        acc_m = add_mod(shifted, limb_m, p);
+    }
+    // Leave the Montgomery domain: acc_m · 1 / R = acc.
+    mont.mul(acc_m, 1)
+}
+
+#[inline]
+fn add_mod(a: u64, b: u64, p: u64) -> u64 {
+    let sum = a + b; // both < p ≤ 2^62, no overflow
+    if sum >= p {
+        sum - p
+    } else {
+        sum
+    }
 }
 
 /// Number of bits in the random prime used for a given security parameter and
@@ -157,6 +196,41 @@ mod tests {
         let bytes = [0x01u8, 0x00, 0x01]; // 65537
         assert_eq!(fingerprint(&bytes, p), 0);
         assert_eq!(fingerprint(&[], p), 0);
+    }
+
+    #[test]
+    fn limb_horner_matches_bytewise_reference() {
+        // The limb-based evaluation must equal the original byte-wise
+        // recurrence for every length class (head of 0..8 bytes) and across
+        // the small/large modulus branch.
+        fn bytewise(message: &[u8], p: u64) -> u64 {
+            let mut acc: u64 = 0;
+            for &byte in message {
+                acc = ((acc as u128 * 256 + byte as u128) % p as u128) as u64;
+            }
+            acc
+        }
+        let mut prg = Prg::from_seed_bytes(b"fp-limbs");
+        let primes = [
+            3u64,
+            65_537,
+            1_000_000_007,
+            (1 << 61) - 1,
+            random_prime_with_bits(&mut prg, 62),
+            18_446_744_073_709_551_557, // largest 64-bit prime
+            // Not prime — the function is defined for any modulus > 1, odd
+            // (Montgomery path) or even (generic path).
+            255,
+            256,
+            1 << 63,
+            u64::MAX,
+        ];
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 1000, 4096] {
+            let msg = prg.gen_bytes(len);
+            for &p in &primes {
+                assert_eq!(fingerprint(&msg, p), bytewise(&msg, p), "len={len} p={p}");
+            }
+        }
     }
 
     #[test]

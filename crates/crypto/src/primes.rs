@@ -30,10 +30,108 @@ pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     result
 }
 
+/// Montgomery reduction context for an odd modulus `p < 2^63`: modular
+/// multiplication as two multiply-shift steps, with no division anywhere.
+///
+/// Shared by the Miller–Rabin hot loop below and the string fingerprint of
+/// [`mod@crate::fingerprint`] — the two inner loops of the succinct equality
+/// test, both of which would otherwise spend a `u128 % u64` division per
+/// step.
+pub(crate) struct Montgomery {
+    p: u64,
+    /// `-p⁻¹ mod 2^64`.
+    neg_p_inv: u64,
+    /// `R mod p` with `R = 2^64` (the Montgomery form of 1).
+    pub(crate) one: u64,
+    /// `R² mod p` — multiplying by it converts into the Montgomery domain.
+    pub(crate) r2: u64,
+}
+
+impl Montgomery {
+    pub(crate) fn new(p: u64) -> Self {
+        debug_assert!(p % 2 == 1 && p < 1 << 63);
+        // Newton iteration doubles the number of correct low bits per step:
+        // five steps from the 4-bit-correct seed `p` reach all 64 bits.
+        let mut inv: u64 = p;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(inv)));
+        }
+        let one = ((1u128 << 64) % p as u128) as u64;
+        let r2 = ((one as u128 * one as u128) % p as u128) as u64;
+        Self {
+            p,
+            neg_p_inv: inv.wrapping_neg(),
+            one,
+            r2,
+        }
+    }
+
+    /// `a · b · R⁻¹ mod p` — the Montgomery product, division-free. Inputs
+    /// and output are canonical residues (`< p`).
+    #[inline]
+    pub(crate) fn mul(&self, a: u64, b: u64) -> u64 {
+        let t = a as u128 * b as u128;
+        let m = (t as u64).wrapping_mul(self.neg_p_inv);
+        // t + m·p < p² + 2^64·p < 2^128 for p < 2^63; the low 64 bits of
+        // the sum are zero by construction of m.
+        let reduced = ((t + m as u128 * self.p as u128) >> 64) as u64;
+        if reduced >= self.p {
+            reduced - self.p
+        } else {
+            reduced
+        }
+    }
+
+    /// `a^exp · R⁻¹ᵏ…` — exponentiation staying in the Montgomery domain:
+    /// takes and returns Montgomery-form residues.
+    fn pow(&self, a_m: u64, mut exp: u64) -> u64 {
+        let mut result = self.one;
+        let mut base = a_m;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = self.mul(result, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        result
+    }
+}
+
+const SMALL_PRIMES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// The smallest deterministic Miller–Rabin witness set for `n`, per the
+/// classical strong-pseudoprime bounds (Jaeschke; OEIS A014233). Prefix sets
+/// of `{2, 3, 5, …, 37}` are exact below the listed thresholds; the full
+/// 12-prime set is exact for every `u64`.
+fn witness_set(n: u64) -> &'static [u64] {
+    if n < 2_047 {
+        &SMALL_PRIMES[..1]
+    } else if n < 1_373_653 {
+        &SMALL_PRIMES[..2]
+    } else if n < 25_326_001 {
+        &SMALL_PRIMES[..3]
+    } else if n < 3_215_031_751 {
+        &SMALL_PRIMES[..4]
+    } else if n < 2_152_302_898_747 {
+        &SMALL_PRIMES[..5]
+    } else if n < 3_474_749_660_383 {
+        &SMALL_PRIMES[..6]
+    } else if n < 341_550_071_728_321 {
+        &SMALL_PRIMES[..7]
+    } else if n < 3_825_123_056_546_413_051 {
+        &SMALL_PRIMES[..9]
+    } else {
+        &SMALL_PRIMES
+    }
+}
+
 /// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
 ///
-/// Uses the standard witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`
-/// which is known to be sufficient for all integers below `3.3 × 10^24`.
+/// Uses the smallest exact witness set for the candidate's size (up to the
+/// standard `{2, 3, 5, …, 37}`, sufficient below `3.3 × 10^24`) and
+/// division-free Montgomery arithmetic for odd candidates under `2^63` —
+/// the accept/reject behaviour is identical to the textbook formulation.
 ///
 /// ```
 /// assert!(mpca_crypto::primes::is_prime(2));
@@ -44,7 +142,7 @@ pub fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+    for &p in &SMALL_PRIMES {
         if n == p {
             return true;
         }
@@ -59,7 +157,28 @@ pub fn is_prime(n: u64) -> bool {
         d /= 2;
         r += 1;
     }
-    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+    let witnesses = witness_set(n);
+    if n < 1 << 63 {
+        // n is odd (survived trial division), so Montgomery applies.
+        let mont = Montgomery::new(n);
+        let neg_one = n - mont.one;
+        'witness: for &a in witnesses {
+            let a_m = mont.mul(a, mont.r2);
+            let mut x = mont.pow(a_m, d);
+            if x == mont.one || x == neg_one {
+                continue;
+            }
+            for _ in 0..r - 1 {
+                x = mont.mul(x, x);
+                if x == neg_one {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        return true;
+    }
+    'witness: for &a in witnesses {
         let mut x = pow_mod(a, d, n);
         if x == 1 || x == n - 1 {
             continue;

@@ -98,6 +98,14 @@ impl<B: ExecutionBackend> SessionPool<B> {
         self
     }
 
+    /// Reserves capacity for `additional` further submissions. Bulk
+    /// submitters (campaigns, sweeps) know their batch length upfront;
+    /// reserving keeps the submission loop from growing the session vector
+    /// repeatedly.
+    pub fn reserve(&mut self, additional: usize) {
+        self.sessions.reserve(additional);
+    }
+
     /// Number of sessions submitted so far.
     pub fn len(&self) -> usize {
         self.sessions.len()
@@ -150,10 +158,16 @@ impl<B: ExecutionBackend> SessionPool<B> {
         let total = self.sessions.len();
         let workers = self.workers.min(total).max(1);
         let backend = &self.backend;
-        let queue: Mutex<VecDeque<(usize, PoolSession<B>)>> =
-            Mutex::new(self.sessions.into_iter().enumerate().collect());
-        let slots: Vec<Mutex<Option<Result<SessionReport, NetError>>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
+        // Pre-size the scheduling structures from the batch length: the
+        // queue, the result slots and the final report vector all have
+        // exactly `total` entries, so none of them should grow under the
+        // worker threads.
+        let mut pending: VecDeque<(usize, PoolSession<B>)> = VecDeque::with_capacity(total);
+        pending.extend(self.sessions.into_iter().enumerate());
+        let queue: Mutex<VecDeque<(usize, PoolSession<B>)>> = Mutex::new(pending);
+        let mut slots: Vec<Mutex<Option<Result<SessionReport, NetError>>>> =
+            Vec::with_capacity(total);
+        slots.resize_with(total, || Mutex::new(None));
 
         let progress = self.progress.as_deref();
         let completed = AtomicUsize::new(0);

@@ -56,7 +56,8 @@ pub use crs::CommonRandomString;
 pub use envelope::Envelope;
 pub use error::NetError;
 pub use party::{
-    AbortReason, Milestone, MilestoneEvent, MilestoneKind, PartyCtx, PartyId, PartyLogic, Step,
+    set_naive_fanout_for_tests, AbortReason, Milestone, MilestoneEvent, MilestoneKind, PartyCtx,
+    PartyId, PartyLogic, SendOp, Step,
 };
 pub use payload::{Payload, PayloadAllocStats, PayloadBuilder};
 pub use simulator::{

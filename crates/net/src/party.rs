@@ -265,12 +265,84 @@ pub trait PartyLogic {
     ) -> Step<Self::Output>;
 }
 
+/// One queued send operation: a single point-to-point envelope, or a
+/// batched fan-out of one shared payload to many recipients.
+///
+/// The fan-out form is what lets the simulator charge `CommStats`, phase
+/// bytes and inbox routing for an n-recipient broadcast in one arithmetic
+/// pass instead of n per-envelope map walks. Expanding a `FanOut` yields
+/// exactly the envelopes the equivalent sequence of [`SendOp::Single`]s
+/// would — delivery order, byte accounting and trace digests are identical
+/// by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendOp {
+    /// One point-to-point envelope.
+    Single(Envelope),
+    /// The same shared payload from `from` to each recipient, in order.
+    FanOut {
+        /// The sender.
+        from: PartyId,
+        /// Recipients, in send order (duplicates are legal and charged per
+        /// occurrence, exactly like repeated `send` calls).
+        recipients: Vec<PartyId>,
+        /// The shared message body (O(1) to clone per recipient).
+        payload: Payload,
+    },
+}
+
+impl SendOp {
+    /// Number of envelopes this operation expands to.
+    pub fn envelope_count(&self) -> usize {
+        match self {
+            SendOp::Single(_) => 1,
+            SendOp::FanOut { recipients, .. } => recipients.len(),
+        }
+    }
+
+    /// Expands the operation into per-recipient envelopes, in send order.
+    pub fn expand_into(self, out: &mut Vec<Envelope>) {
+        match self {
+            SendOp::Single(envelope) => out.push(envelope),
+            SendOp::FanOut {
+                from,
+                recipients,
+                payload,
+            } => {
+                out.reserve(recipients.len());
+                for to in recipients {
+                    out.push(Envelope {
+                        from,
+                        to,
+                        payload: payload.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Test-only switch routing [`PartyCtx::send_payload_to_all`] through the
+/// naive per-envelope path instead of emitting a batched [`SendOp::FanOut`].
+///
+/// The hot-path property tests flip this to prove the batched accounting is
+/// byte-identical to the reference implementation. Process-global; never set
+/// it outside tests.
+pub fn set_naive_fanout_for_tests(on: bool) {
+    NAIVE_FANOUT.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+static NAIVE_FANOUT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn naive_fanout() -> bool {
+    NAIVE_FANOUT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Per-round context handed to a party, used to send messages.
 #[derive(Debug)]
 pub struct PartyCtx {
     id: PartyId,
     n: usize,
-    outgoing: Vec<Envelope>,
+    outgoing: Vec<SendOp>,
     milestones: Vec<Milestone>,
 }
 
@@ -304,11 +376,11 @@ impl PartyCtx {
     /// other message so protocols avoid it.
     pub fn send(&mut self, to: PartyId, payload: impl Into<Payload>) {
         debug_assert!(to.index() < self.n, "recipient {to} out of range");
-        self.outgoing.push(Envelope {
+        self.outgoing.push(SendOp::Single(Envelope {
             from: self.id,
             to,
             payload: payload.into(),
-        });
+        }));
     }
 
     /// Queues an encodable message to `to`.
@@ -330,18 +402,49 @@ impl PartyCtx {
 
     /// Queues an already-materialised payload to every party in
     /// `recipients`, sharing the buffer (O(1) per recipient).
+    ///
+    /// Emits one batched [`SendOp::FanOut`], which the simulator charges in
+    /// a single arithmetic pass — observably identical to calling
+    /// [`send`](Self::send) per recipient, just without the per-envelope
+    /// accounting walks.
     pub fn send_payload_to_all(
         &mut self,
         recipients: impl IntoIterator<Item = PartyId>,
         payload: &Payload,
     ) {
-        for to in recipients {
-            self.send(to, payload.clone());
+        if naive_fanout() {
+            for to in recipients {
+                self.send(to, payload.clone());
+            }
+            return;
         }
+        let recipients: Vec<PartyId> = recipients.into_iter().collect();
+        if recipients.is_empty() {
+            return;
+        }
+        debug_assert!(
+            recipients.iter().all(|to| to.index() < self.n),
+            "fan-out recipient out of range"
+        );
+        self.outgoing.push(SendOp::FanOut {
+            from: self.id,
+            recipients,
+            payload: payload.clone(),
+        });
     }
 
-    /// Drains the queued outgoing envelopes (used by the simulator).
+    /// Drains the queued sends as per-recipient envelopes, expanding any
+    /// batched fan-outs (adversary proxies rewrite individual envelopes).
     pub fn take_outgoing(&mut self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        for op in std::mem::take(&mut self.outgoing) {
+            op.expand_into(&mut out);
+        }
+        out
+    }
+
+    /// Drains the queued sends in batched form (used by the simulator).
+    pub fn take_send_ops(&mut self) -> Vec<SendOp> {
         std::mem::take(&mut self.outgoing)
     }
 

@@ -8,7 +8,9 @@ use mpca_metrics::{Phase, PhaseBytes, PhaseClock};
 use crate::adversary::{Adversary, AdversaryCtx};
 use crate::envelope::Envelope;
 use crate::error::NetError;
-use crate::party::{AbortReason, Milestone, MilestoneEvent, PartyCtx, PartyId, PartyLogic, Step};
+use crate::party::{
+    AbortReason, Milestone, MilestoneEvent, PartyCtx, PartyId, PartyLogic, SendOp, Step,
+};
 use crate::stats::CommStats;
 use crate::trace::{TraceEvent, TraceLog};
 
@@ -157,7 +159,9 @@ pub struct PartyTask<'a, L: PartyLogic> {
     id: PartyId,
     round: usize,
     n: usize,
-    incoming: Vec<Envelope>,
+    /// This round's deliveries, borrowed from the simulator's inbox plane —
+    /// the buffers stay owned by the simulator and are reused across rounds.
+    incoming: &'a [Envelope],
     logic: &'a mut L,
 }
 
@@ -175,11 +179,11 @@ impl<L: PartyLogic> PartyTask<'_, L> {
     /// Runs the party's state machine for this round.
     pub fn execute(self) -> PartyStep<L::Output> {
         let mut ctx = PartyCtx::new(self.id, self.n);
-        let step = self.logic.on_round(self.round, &self.incoming, &mut ctx);
+        let step = self.logic.on_round(self.round, self.incoming, &mut ctx);
         PartyStep {
             id: self.id,
             step,
-            outgoing: ctx.take_outgoing(),
+            outgoing: ctx.take_send_ops(),
             milestones: ctx.take_milestones(),
         }
     }
@@ -192,8 +196,9 @@ pub struct PartyStep<O> {
     pub id: PartyId,
     /// The state-machine transition the party took.
     pub step: Step<O>,
-    /// Envelopes the party queued for delivery next round.
-    pub outgoing: Vec<Envelope>,
+    /// Send operations the party queued for delivery next round — batched
+    /// fan-outs stay batched until the simulator charges them in one pass.
+    pub outgoing: Vec<SendOp>,
     /// Protocol phase milestones the party emitted this round.
     pub milestones: Vec<Milestone>,
 }
@@ -262,7 +267,12 @@ pub struct Simulator<L: PartyLogic> {
     round: usize,
     stats: CommStats,
     outcomes: BTreeMap<PartyId, PartyOutcome<L::Output>>,
-    inboxes: BTreeMap<PartyId, Vec<Envelope>>,
+    /// Current-round deliveries, indexed by party id. Buffers are owned by
+    /// the simulator and reused across rounds (cleared, never reallocated).
+    inboxes: Vec<Vec<Envelope>>,
+    /// Next-round staging, indexed by party id; swapped with `inboxes` at
+    /// each round boundary.
+    staging: Vec<Vec<Envelope>>,
     peak_inbox_bytes: u64,
     peak_inbox_envelopes: u64,
     trace: Option<TraceLog>,
@@ -339,7 +349,8 @@ impl<L: PartyLogic> Simulator<L> {
             round: 0,
             stats: CommStats::new(),
             outcomes: BTreeMap::new(),
-            inboxes: BTreeMap::new(),
+            inboxes: acquire_plane(n),
+            staging: acquire_plane(n),
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
             trace: None,
@@ -455,8 +466,13 @@ impl<L: PartyLogic> Simulator<L> {
     /// Returns [`NetError::ExecutionIncomplete`] if honest parties have not
     /// all terminated yet (the round *limit* is enforced by `step_round`,
     /// not here — finishing early is not a limit overrun).
-    pub fn into_result(self) -> Result<RunResult<L::Output>, NetError> {
+    pub fn into_result(mut self) -> Result<RunResult<L::Output>, NetError> {
         if self.is_complete() {
+            // Hand the inbox planes back to the thread-local pool so the
+            // next session on this thread (e.g. the engine's sequential
+            // backend draining a batch) starts with warm allocations.
+            release_plane(std::mem::take(&mut self.inboxes));
+            release_plane(std::mem::take(&mut self.staging));
             // Mirror the session's deterministic phase accounting into the
             // live registry — one flush per session, so the hot path never
             // touches an atomic. The registry is telemetry; the returned
@@ -526,7 +542,7 @@ impl<L: PartyLogic> Simulator<L> {
         let round = self.round;
         let n = self.n;
         let outcomes = &self.outcomes;
-        let inboxes = &mut self.inboxes;
+        let inboxes = &self.inboxes;
         let tasks: Vec<PartyTask<'_, L>> = self
             .honest
             .iter_mut()
@@ -535,7 +551,7 @@ impl<L: PartyLogic> Simulator<L> {
                 id,
                 round,
                 n,
-                incoming: inboxes.remove(&id).unwrap_or_default(),
+                incoming: inboxes[id.index()].as_slice(),
                 logic,
             })
             .collect();
@@ -557,31 +573,69 @@ impl<L: PartyLogic> Simulator<L> {
         let round_timer = mpca_metrics::enabled().then(Instant::now);
         let wall_phase = self.phase.current();
         let mut newly_terminated = Vec::new();
-        let mut next_inboxes: BTreeMap<PartyId, Vec<Envelope>> = BTreeMap::new();
         let mut round_milestones: Vec<MilestoneEvent> = Vec::new();
 
+        // Honest sends of round r are charged under the phase as of the
+        // round's start: milestones collected this round only advance the
+        // clock after the merge loop, mirroring the trace's event order
+        // (sends → milestones → injections) so the trace-derived ledger
+        // reconciles byte-for-byte. The phase cannot change inside the merge
+        // loop, so it is resolved once for the whole round.
+        let send_phase = self.phase.current();
         steps.sort_by_key(|s| s.id);
         for party_step in steps {
-            for envelope in party_step.outgoing {
-                self.stats
-                    .record_send(envelope.from, envelope.to, envelope.payload_len());
-                // Honest sends of round r are charged under the phase as of
-                // the round's start: milestones collected this round only
-                // advance the clock after the merge loop, mirroring the
-                // trace's event order (sends → milestones → injections) so
-                // the trace-derived ledger reconciles byte-for-byte.
-                self.phase_bytes
-                    .charge(self.phase.current(), envelope.payload_len() as u64);
-                if let Some(trace) = &mut self.trace {
-                    trace.push(TraceEvent::Send {
-                        round,
-                        from: envelope.from,
-                        to: envelope.to,
-                        payload: envelope.payload.clone(),
-                        injected: false,
-                    });
+            for op in party_step.outgoing {
+                match op {
+                    SendOp::Single(envelope) => {
+                        let len = envelope.payload_len();
+                        self.stats.record_send(envelope.from, envelope.to, len);
+                        self.phase_bytes.charge(send_phase, len as u64);
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Send {
+                                round,
+                                from: envelope.from,
+                                to: envelope.to,
+                                payload: envelope.payload.clone(),
+                                injected: false,
+                            });
+                        }
+                        self.staging[envelope.to.index()].push(envelope);
+                    }
+                    SendOp::FanOut {
+                        from,
+                        recipients,
+                        payload,
+                    } => {
+                        // One arithmetic pass for the whole fan-out: the
+                        // sender's counters and the phase charge are updated
+                        // once, not once per recipient. Trace events and
+                        // deliveries stay per-recipient (sharing the payload
+                        // buffer), so the expansion is byte-identical to the
+                        // equivalent sequence of single sends.
+                        let len = payload.len();
+                        self.stats.record_fanout(from, &recipients, len);
+                        self.phase_bytes
+                            .charge(send_phase, len as u64 * recipients.len() as u64);
+                        if let Some(trace) = &mut self.trace {
+                            for &to in &recipients {
+                                trace.push(TraceEvent::Send {
+                                    round,
+                                    from,
+                                    to,
+                                    payload: payload.clone(),
+                                    injected: false,
+                                });
+                            }
+                        }
+                        for to in recipients {
+                            self.staging[to.index()].push(Envelope {
+                                from,
+                                to,
+                                payload: payload.clone(),
+                            });
+                        }
+                    }
                 }
-                next_inboxes.entry(envelope.to).or_default().push(envelope);
             }
             for milestone in party_step.milestones {
                 round_milestones.push(MilestoneEvent {
@@ -638,12 +692,16 @@ impl<L: PartyLogic> Simulator<L> {
         let delivered_to_corrupted: BTreeMap<PartyId, Vec<Envelope>> = self
             .corrupted
             .iter()
-            .map(|id| (*id, self.inboxes.remove(id).unwrap_or_default()))
+            .map(|id| (*id, std::mem::take(&mut self.inboxes[id.index()])))
             .collect();
         let mut adv_ctx = AdversaryCtx::new();
         self.adversary.observe_milestones(round, &round_milestones);
         self.adversary
             .on_round(round, &delivered_to_corrupted, &mut adv_ctx);
+        // Injected sends are charged *after* the round's milestones advanced
+        // the clock — same order as the trace records them; like the merge
+        // loop's phase, resolved once for the whole injection batch.
+        let inject_phase = self.phase.current();
         for envelope in adv_ctx.take_outgoing() {
             // Channels are authenticated: the adversary can only speak as
             // parties it actually corrupted.
@@ -656,10 +714,8 @@ impl<L: PartyLogic> Simulator<L> {
             if self.config.count_adversary_bytes {
                 self.stats
                     .record_send(envelope.from, envelope.to, envelope.payload_len());
-                // Injected sends are charged *after* the round's milestones
-                // advanced the clock — same order as the trace records them.
                 self.phase_bytes
-                    .charge(self.phase.current(), envelope.payload_len() as u64);
+                    .charge(inject_phase, envelope.payload_len() as u64);
             }
             if let Some(trace) = &mut self.trace {
                 // Injected sends are tagged distinctly, so the flooding
@@ -673,20 +729,27 @@ impl<L: PartyLogic> Simulator<L> {
                     injected: true,
                 });
             }
-            next_inboxes.entry(envelope.to).or_default().push(envelope);
+            self.staging[envelope.to.index()].push(envelope);
         }
 
         // Deterministic delivery order: sort by sender id.
         let mut queued_bytes = 0u64;
         let mut queued_envelopes = 0u64;
-        for queue in next_inboxes.values_mut() {
+        for queue in &mut self.staging {
             queue.sort_by_key(|e| e.from);
             queued_envelopes += queue.len() as u64;
             queued_bytes += queue.iter().map(|e| e.payload_len() as u64).sum::<u64>();
         }
         self.peak_inbox_bytes = self.peak_inbox_bytes.max(queued_bytes);
         self.peak_inbox_envelopes = self.peak_inbox_envelopes.max(queued_envelopes);
-        self.inboxes = next_inboxes;
+        // Swap the planes: staging becomes this round's deliveries; the old
+        // delivery buffers are cleared (capacity retained) and become the
+        // next staging plane. Undelivered envelopes to terminated parties
+        // are discarded here, as the map-based plane did by dropping them.
+        std::mem::swap(&mut self.inboxes, &mut self.staging);
+        for queue in &mut self.staging {
+            queue.clear();
+        }
         self.round = round + 1;
 
         let done = self.outcomes.len() == self.honest.len();
@@ -712,6 +775,45 @@ impl<L: PartyLogic> Simulator<L> {
             done: true,
         }
     }
+}
+
+/// Bound on the thread-local plane pool: a thread drives one simulator at a
+/// time (two planes), so a small stash covers back-to-back sessions without
+/// pinning envelope capacity from an unusually chatty run forever.
+const PLANE_POOL_LIMIT: usize = 4;
+
+std::thread_local! {
+    /// Retired inbox planes, reused by the next simulator built on this
+    /// thread. Purely an allocation cache: planes are cleared on release
+    /// and resized on acquire, so behaviour is identical to fresh `Vec`s.
+    static PLANE_POOL: std::cell::RefCell<Vec<Vec<Vec<Envelope>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Fetches an `n`-slot inbox plane, reusing a retired plane's allocations
+/// (outer vector and per-party queue capacity) when one is available.
+fn acquire_plane(n: usize) -> Vec<Vec<Envelope>> {
+    let recycled = PLANE_POOL.with(|pool| pool.borrow_mut().pop());
+    match recycled {
+        Some(mut plane) => {
+            plane.resize_with(n, Vec::new);
+            plane
+        }
+        None => (0..n).map(|_| Vec::new()).collect(),
+    }
+}
+
+/// Returns a plane to the thread-local pool (cleared, capacity retained).
+fn release_plane(mut plane: Vec<Vec<Envelope>>) {
+    for queue in &mut plane {
+        queue.clear();
+    }
+    PLANE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < PLANE_POOL_LIMIT {
+            pool.push(plane);
+        }
+    });
 }
 
 #[cfg(test)]

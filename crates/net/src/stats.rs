@@ -41,6 +41,27 @@ impl CommStats {
         self.received_from.entry(to).or_default().insert(from);
     }
 
+    /// Records a fan-out of one `bytes`-byte message from `from` to every
+    /// party in `recipients`.
+    ///
+    /// Exactly equivalent to calling [`record_send`](Self::record_send) once
+    /// per recipient, but the sender's three counters are resolved once for
+    /// the whole batch instead of once per envelope.
+    pub fn record_fanout(&mut self, from: PartyId, recipients: &[PartyId], bytes: usize) {
+        if recipients.is_empty() {
+            return;
+        }
+        *self.bytes_sent.entry(from).or_default() += bytes as u64 * recipients.len() as u64;
+        *self.messages_sent.entry(from).or_default() += recipients.len() as u64;
+        self.sent_to
+            .entry(from)
+            .or_default()
+            .extend(recipients.iter().copied());
+        for &to in recipients {
+            self.received_from.entry(to).or_default().insert(from);
+        }
+    }
+
     /// Sets the number of rounds executed.
     pub fn set_rounds(&mut self, rounds: usize) {
         self.rounds = rounds;
@@ -196,6 +217,22 @@ mod tests {
         assert_eq!(stats.max_locality_within(&BTreeSet::new()), 0);
         assert!((stats.mean_locality(&set(&[0, 1, 2, 3])) - 1.5).abs() < 1e-9);
         assert_eq!(stats.mean_locality(&BTreeSet::new()), 0.0);
+    }
+
+    #[test]
+    fn fanout_matches_per_send_recording() {
+        let recipients: Vec<PartyId> = [1usize, 2, 3, 2].into_iter().map(PartyId).collect();
+        let mut batched = CommStats::new();
+        batched.record_fanout(PartyId(0), &recipients, 17);
+        batched.record_fanout(PartyId(0), &[], 1000); // no-op
+        let mut naive = CommStats::new();
+        for &to in &recipients {
+            naive.record_send(PartyId(0), to, 17);
+        }
+        assert_eq!(batched, naive);
+        assert_eq!(batched.total_bytes(), 4 * 17);
+        assert_eq!(batched.total_messages(), 4);
+        assert_eq!(batched.peers_of(PartyId(0)), set(&[1, 2, 3]));
     }
 
     #[test]

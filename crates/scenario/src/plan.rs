@@ -336,6 +336,7 @@ impl Campaign {
             .with_workers(workers)
             .with_tracing(traced)
             .with_progress(progress);
+        pool.reserve(scenarios.len());
         for scenario in &scenarios {
             registry::submit_scenario(&mut pool, scenario);
         }
