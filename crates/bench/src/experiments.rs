@@ -1209,6 +1209,66 @@ pub fn exp_asymptotics() -> Table {
     table
 }
 
+/// `E20-search` — the coverage-guided adversary search (DESIGN.md §11)
+/// exercised in both of its CI roles. The **unrigged** run is the tripwire:
+/// seeded candidate mutation over the tiny sweep grids must surface **no**
+/// predicate violation outside the adversaries' expected sets. The
+/// **rigged** run (`Rig::LoosenFlooding`) is the searcher's own health
+/// check: dropping `flooding-never-charged` from the expected sets plants a
+/// violation the loop must find, shrink to a minimal spec, and emit as a
+/// replayable counterexample — a searcher that reports nothing here is
+/// broken, not lucky. One row per mode records candidates executed,
+/// coverage signatures, novel finds, counterexamples and shrink cost.
+pub fn exp_search() -> Table {
+    let mut table = Table::new(
+        "E20-search",
+        "Coverage-guided adversary search: the unrigged tripwire must find nothing novel; \
+         the rigged health check must find and shrink the planted flooding violation.",
+        &[
+            "mode",
+            "executed",
+            "coverage",
+            "finds",
+            "counterexamples",
+            "shrink execs",
+            "first counterexample",
+        ],
+    );
+    for (mode, rig) in [
+        ("unrigged", None),
+        ("rigged", Some(mpca_scenario::Rig::LoosenFlooding)),
+    ] {
+        let mut config = mpca_scenario::SearchConfig::tiny(7);
+        config.rig = rig;
+        let report = mpca_scenario::run_search(&config, Sequential).expect("search executes");
+        match rig {
+            None => assert!(
+                report.findings.is_empty(),
+                "unrigged search must find nothing novel: {}",
+                report.summary()
+            ),
+            Some(_) => assert!(
+                !report.counterexamples.is_empty(),
+                "rigged search must find the planted violation: {}",
+                report.summary()
+            ),
+        }
+        table.push_row(vec![
+            mode.into(),
+            report.executed.to_string(),
+            report.coverage.len().to_string(),
+            report.findings.len().to_string(),
+            report.counterexamples.len().to_string(),
+            report.shrink_executions.to_string(),
+            report.counterexamples.first().map_or_else(
+                || "-".into(),
+                |cex| format!("{} [{}]", cex.label, cex.violated.join(",")),
+            ),
+        ]);
+    }
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -1234,6 +1294,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E17-trace", exp_trace_overhead),
         ("E18-metrics", exp_metrics),
         ("E19-asymptotics", exp_asymptotics),
+        ("E20-search", exp_search),
     ]
 }
 
@@ -1282,7 +1343,20 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 19);
+        assert_eq!(all_experiments().len(), 20);
+    }
+
+    #[test]
+    fn search_experiment_trips_on_the_rig_and_only_the_rig() {
+        let _guard = serial();
+        let table = exp_search();
+        assert_eq!(table.rows.len(), 2);
+        let unrigged = &table.rows[0];
+        let rigged = &table.rows[1];
+        assert_eq!(unrigged[3], "0", "unrigged finds: {unrigged:?}");
+        assert_eq!(unrigged[6], "-");
+        assert_ne!(rigged[4], "0", "rigged counterexamples: {rigged:?}");
+        assert!(rigged[6].contains("flooding-never-charged"));
     }
 
     #[test]
@@ -1355,9 +1429,9 @@ mod tests {
         // Every row matches its expectation, and exactly the rigged control
         // rows are flagged on agreement.
         // Column indices per CampaignReport::ROW_HEADERS: 8 = agreement
-        // verdict, 13 = expectation match.
+        // verdict, 14 = expectation match.
         for row in &table.rows {
-            assert_eq!(row[13], "yes", "verdicts must match expectations: {row:?}");
+            assert_eq!(row[14], "yes", "verdicts must match expectations: {row:?}");
             let is_control = row[0].starts_with("ctl-equivocate");
             assert_eq!(
                 row[8] == "VIOLATED",

@@ -48,6 +48,7 @@ pub struct SessionPool<B: ExecutionBackend> {
     sessions: Vec<PoolSession<B>>,
     progress: Option<ProgressFn>,
     tracing: bool,
+    keep_logs: bool,
 }
 
 impl<B: ExecutionBackend> SessionPool<B> {
@@ -61,6 +62,7 @@ impl<B: ExecutionBackend> SessionPool<B> {
             sessions: Vec::new(),
             progress: None,
             tracing: false,
+            keep_logs: false,
         }
     }
 
@@ -78,6 +80,17 @@ impl<B: ExecutionBackend> SessionPool<B> {
     /// contract.
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Additionally retains each traced session's **full event stream** as
+    /// [`SessionReport::trace_log`] (builder style, affects sessions
+    /// submitted after this call; implies nothing unless tracing is also
+    /// enabled). Predicate-backed oracle verdicts and the adversary-search
+    /// loop need the stream itself, not just its digest; everything else
+    /// should leave this off and keep sweeps cheap.
+    pub fn with_trace_logs(mut self, keep: bool) -> Self {
+        self.keep_logs = keep;
         self
     }
 
@@ -130,6 +143,7 @@ impl<B: ExecutionBackend> SessionPool<B> {
     {
         let job_label = label.into();
         let tracing = self.tracing;
+        let keep_logs = self.keep_logs;
         self.sessions.push(PoolSession {
             job: Box::new(move |backend: &B| {
                 let start = Instant::now();
@@ -138,10 +152,11 @@ impl<B: ExecutionBackend> SessionPool<B> {
                     sim.record_trace();
                 }
                 let result = backend.execute(sim)?;
-                Ok(SessionReport::from_result(
+                Ok(SessionReport::from_result_retaining(
                     job_label,
                     &result,
                     start.elapsed(),
+                    keep_logs,
                 ))
             }),
         });
@@ -421,6 +436,29 @@ mod tests {
             );
         }
         assert_eq!(sequential.sessions, parallel.sessions);
+    }
+
+    #[test]
+    fn trace_log_retention_is_opt_in_and_matches_the_summary() {
+        let run = |keep: bool| {
+            let mut pool = SessionPool::new(Sequential)
+                .with_tracing(true)
+                .with_trace_logs(keep);
+            pool.submit("t", || sum_sim(4, 1));
+            pool.run().unwrap()
+        };
+        let plain = run(false);
+        assert!(plain.sessions[0].trace_log.is_none());
+        let retained = run(true);
+        let session = &retained.sessions[0];
+        let log = session.trace_log.as_ref().expect("log retained");
+        // The retained stream is the one the summary digested.
+        assert_eq!(
+            mpca_trace::digest_hex(log),
+            session.trace.as_ref().unwrap().digest
+        );
+        // Retention is invisible to the equality contract.
+        assert_eq!(plain.sessions, retained.sessions);
     }
 
     #[test]

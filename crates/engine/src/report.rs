@@ -70,6 +70,13 @@ pub struct SessionReport {
     /// parallel == sequential contract covers the entire event stream of a
     /// traced session, not just its aggregates.
     pub trace: Option<TraceSummary>,
+    /// The **full** recorded event stream, retained only when the pool ran
+    /// with [`SessionPool::with_trace_logs`](crate::SessionPool::with_trace_logs)
+    /// — the input predicate-backed oracle verdicts and the search loop
+    /// evaluate over. Shared, not copied: the `Arc` keeps whole-sweep
+    /// retention affordable. **Excluded from equality** (the summary's
+    /// digest already covers the stream byte for byte).
+    pub trace_log: Option<std::sync::Arc<mpca_net::TraceLog>>,
     /// Charged bytes attributed to each protocol phase by the simulator's
     /// milestone-driven phase clock. Deterministic across backends —
     /// **part of equality** — and its total always equals
@@ -100,6 +107,17 @@ impl SessionReport {
         result: &RunResult<O>,
         wall: Duration,
     ) -> Self {
+        Self::from_result_retaining(label, result, wall, false)
+    }
+
+    /// Digests a typed [`RunResult`], optionally retaining the full trace
+    /// log (see [`SessionReport::trace_log`]) alongside its summary.
+    pub fn from_result_retaining<O: Debug>(
+        label: impl Into<String>,
+        result: &RunResult<O>,
+        wall: Duration,
+        keep_log: bool,
+    ) -> Self {
         Self {
             label: label.into(),
             outcomes: result
@@ -120,6 +138,11 @@ impl SessionReport {
             peak_inbox_bytes: result.peak_inbox_bytes,
             peak_inbox_envelopes: result.peak_inbox_envelopes,
             trace: result.trace.as_ref().map(TraceSummary::of),
+            trace_log: if keep_log {
+                result.trace.clone().map(std::sync::Arc::new)
+            } else {
+                None
+            },
             phase_bytes: result.phase_bytes,
             wall,
         }
@@ -312,6 +335,7 @@ mod tests {
             peak_inbox_bytes: 10,
             peak_inbox_envelopes: 1,
             trace: None,
+            trace_log: None,
             phase_bytes: PhaseBytes::new(),
             wall: Duration::from_millis(wall_ms),
         }

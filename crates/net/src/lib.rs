@@ -65,4 +65,4 @@ pub use simulator::{
     SimConfig, Simulator,
 };
 pub use stats::CommStats;
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{TraceEvent, TraceLog, TraceSink};

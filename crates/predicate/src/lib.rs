@@ -1,0 +1,61 @@
+//! # mpca-predicate
+//!
+//! The **trace-predicate language**: a small combinator algebra over
+//! [`TaggedTrace`](mpca_trace::TaggedTrace) streams, compiled to
+//! single-pass evaluators that run over recorded *or* live traces and
+//! report the first violating event span.
+//!
+//! The paper's security claims — agreement-or-abort, identified abort, the
+//! Theorem 3 flooding rule, per-phase byte budgets — are claims *about the
+//! event stream*: which frames crossed the wire, in which phase, charged to
+//! whom, before or after which milestone. This crate states those claims as
+//! data ([`Predicate`]) and checks them as single passes:
+//!
+//! * **frame-sequence legality** ([`Predicate::FramesLegal`]): every honest
+//!   envelope decodes under the family's
+//!   [`FrameSchema`](mpca_core::FrameSchema);
+//! * **per-phase byte ceilings** ([`Predicate::PhaseCeiling`]): the
+//!   `PhaseLedger` charging rules replayed incrementally against a limit;
+//! * **temporal rules**: no honest send after a party's termination
+//!   ([`Predicate::NoSendAfterTermination`]), detection aborts imply a
+//!   prior verification phase
+//!   ([`Predicate::DetectionAbortImpliesVerification`]), no CRS-phase bytes
+//!   after the committee announcement ([`Predicate::NoPhaseBytesAfter`]);
+//! * **quantifiers** over parties and rounds ([`Predicate::ForAllParties`],
+//!   [`Predicate::ForAllRounds`]) and the boolean closure
+//!   ([`Predicate::All`], [`Predicate::Any`], [`Predicate::Not`]).
+//!
+//! Compilation ([`Predicate::compile`]) produces an [`Evaluator`] — a
+//! streaming machine fed one [`TaggedEntry`](mpca_trace::TaggedEntry) at a
+//! time. The recorded path ([`Predicate::eval`]) and the live path
+//! ([`LiveEvaluator`], a [`TraceSink`](mpca_net::TraceSink)) drive the same
+//! machine, so their outcomes are identical by construction — a property
+//! `tests/proptest_predicates.rs` pins over every protocol family.
+//!
+//! A violation is reported as the **first violating event span**
+//! ([`Violation`]): the inclusive `[start, end]` window of stream indices
+//! that witnesses the failure (for relational rules, `start` is the
+//! establishing event — the honest original, the termination milestone —
+//! and `end` the offending one).
+//!
+//! [`standard_set`] bundles the rules every conforming execution must
+//! satisfy; [`full_set`] adds the broadcast-consistency rule for the
+//! family's replicated frame tags. The `mpca-scenario` oracle evaluates the
+//! standard set as its `P` property, and `campaign --search` uses the
+//! violated-name vector as a coverage signal.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod ast;
+mod eval;
+mod live;
+mod set;
+
+pub use ast::{PartyRule, Predicate, RoundRule, Span, Violation};
+pub use eval::Evaluator;
+pub use live::LiveEvaluator;
+pub use set::{
+    consistency_tags, eval_set, full_set, standard_set, verification_is_sole_detector,
+    NamedPredicate, SetViolation,
+};

@@ -1,0 +1,95 @@
+//! Live evaluation: a [`TraceSink`] that runs a predicate set against the
+//! event stream as it is recorded.
+
+use mpca_core::{FrameSchema, ProtocolKind};
+use mpca_net::{TraceEvent, TraceSink};
+use mpca_trace::TaggedEntry;
+
+use crate::eval::Evaluator;
+use crate::set::{NamedPredicate, SetViolation};
+
+/// A predicate set attached to a live event stream.
+///
+/// Construct with the same family and charging flag the execution runs
+/// under, hand it to [`TraceLog::stream_into`](mpca_net::TraceLog) (or call
+/// [`TraceSink::on_event`] directly from an event source), then
+/// [`finish`](LiveEvaluator::finish). Each event is tagged with
+/// [`TaggedEntry::of_event`] — the exact mapping the recorded path folds
+/// over a whole log — so live and post-hoc evaluation agree entry for
+/// entry; `tests/proptest_predicates.rs` pins the equivalence.
+#[derive(Debug, Clone)]
+pub struct LiveEvaluator {
+    schema: FrameSchema,
+    evaluators: Vec<(&'static str, Evaluator)>,
+}
+
+impl LiveEvaluator {
+    /// Compiles `set` for a live stream of `kind` traffic recorded under
+    /// `charges_adversary_bytes`.
+    pub fn new(kind: ProtocolKind, charges_adversary_bytes: bool, set: &[NamedPredicate]) -> Self {
+        Self {
+            schema: FrameSchema::new(kind),
+            evaluators: set
+                .iter()
+                .map(|named| (named.name, named.predicate.compile(charges_adversary_bytes)))
+                .collect(),
+        }
+    }
+
+    /// The violations observed so far, in set order.
+    pub fn finish(self) -> Vec<SetViolation> {
+        self.evaluators
+            .into_iter()
+            .filter_map(|(name, evaluator)| {
+                evaluator
+                    .finish()
+                    .map(|violation| SetViolation { name, violation })
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for LiveEvaluator {
+    fn on_event(&mut self, _index: usize, event: &TraceEvent) {
+        let entry = TaggedEntry::of_event(event, &self.schema);
+        for (_, evaluator) in &mut self.evaluators {
+            evaluator.feed(&entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{eval_set, standard_set};
+    use mpca_net::{PartyId, Payload, TraceLog};
+    use mpca_trace::TaggedTrace;
+
+    #[test]
+    fn live_and_recorded_evaluation_agree() {
+        let mut log = TraceLog::new();
+        log.push(TraceEvent::Send {
+            round: 0,
+            from: PartyId(0),
+            to: PartyId(1),
+            payload: Payload::from_vec(vec![0x11; 6]), // honest junk
+            injected: false,
+        });
+        log.push(TraceEvent::Send {
+            round: 1,
+            from: PartyId(2),
+            to: PartyId(0),
+            payload: Payload::from_vec(vec![0x22; 40]),
+            injected: true,
+        });
+        log.set_charges_adversary_bytes(true);
+
+        let set = standard_set(ProtocolKind::Broadcast, Some(16));
+        let recorded = eval_set(&set, &TaggedTrace::new(&log, ProtocolKind::Broadcast));
+        let mut live =
+            LiveEvaluator::new(ProtocolKind::Broadcast, log.charges_adversary_bytes(), &set);
+        log.stream_into(&mut live);
+        assert_eq!(live.finish(), recorded);
+        assert!(!recorded.is_empty());
+    }
+}

@@ -12,6 +12,9 @@
 //!   cargo run -p mpca-scenario --release --bin campaign -- --replay trace.json --backend parallel
 //!   cargo run -p mpca-scenario --release --bin campaign -- --tiny --metrics metrics.json
 //!   cargo run -p mpca-scenario --release --bin campaign -- --list
+//!   cargo run -p mpca-scenario --release --bin campaign -- --search --tiny --seed 7
+//!   cargo run -p mpca-scenario --release --bin campaign -- --search --tiny --rig loosen-flooding --cex-dir tests/counterexamples
+//!   cargo run -p mpca-scenario --release --bin campaign -- --replay-cex tests/counterexamples --backend parallel
 //!
 //! Every run is **traced**: sessions record their full event stream, the
 //! oracle's identified-abort predicate runs behaviourally against the
@@ -19,6 +22,16 @@
 //! replayable file. `--replay <path>` rebuilds the recorded campaign from
 //! the file's `(campaign, seed)` identity, re-executes it (on any backend —
 //! digests are backend-independent) and fails on any digest mismatch.
+//!
+//! `--search` flips the predicate plane into a coverage-guided adversary
+//! search (see `mpca_scenario::search`): seeded candidate mutation over the
+//! sweep grids, novel predicate violations shrunk to minimal specs, and
+//! `--cex-dir DIR` persisting each as a `.cex` counterexample file.
+//! Without `--rig` the search fails (exit 1) on any novel find — that is
+//! the CI tripwire; with `--rig loosen-flooding` it fails unless the
+//! planted find IS found — that is the searcher's own health check.
+//! `--replay-cex DIR` re-executes every checked-in counterexample and
+//! fails on any digest/verdict divergence.
 //!
 //! Exit status is non-zero when any scenario's verdicts do not match its
 //! expectation, or when a replay diverges from its recording — which is
@@ -29,8 +42,8 @@ use std::time::Instant;
 
 use mpca_engine::{Parallel, Sequential, SessionProgress};
 use mpca_scenario::{
-    campaign_by_name, standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign,
-    Campaign, CampaignReport,
+    campaign_by_name, run_search, standard_campaign, sweep_campaign, tiny_campaign,
+    tiny_sweep_campaign, Campaign, CampaignReport, Counterexample, Rig, SearchConfig, SearchReport,
 };
 use mpca_trace::TraceFile;
 
@@ -38,7 +51,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--sweep] [--tiny] [--seed N] [--workers N] \
          [--backend sequential|parallel] [--record PATH] [--replay PATH] \
-         [--metrics PATH] [--list]"
+         [--metrics PATH] [--list]\n\
+         \x20      campaign --search [--tiny] [--seed N] [--budget N] \
+         [--rig loosen-flooding] [--cex-dir DIR] [--workers N] [--backend B]\n\
+         \x20      campaign --replay-cex DIR [--backend B]"
     );
     std::process::exit(2);
 }
@@ -80,9 +96,14 @@ fn run_campaign(
     let result = match (backend, progress) {
         ("sequential", false) => campaign.run_traced(Sequential, workers),
         ("parallel", false) => campaign.run_traced(Parallel::default(), workers),
-        ("sequential", true) => campaign.run_configured(Sequential, workers, true, narrate(total)),
+        // Progress-narrated sweeps skip full-stream retention: hundreds of
+        // sessions' logs would dominate memory for no verdict change (the
+        // trace-predicate property trivially holds without a stream).
+        ("sequential", true) => {
+            campaign.run_configured(Sequential, workers, true, false, narrate(total))
+        }
         ("parallel", true) => {
-            campaign.run_configured(Parallel::default(), workers, true, narrate(total))
+            campaign.run_configured(Parallel::default(), workers, true, false, narrate(total))
         }
         _ => usage(),
     };
@@ -109,6 +130,145 @@ fn write_metrics(path: &str) {
     }
 }
 
+/// Runs the adversary search on the chosen backend, persists any shrunk
+/// counterexamples, and exits non-zero per the rig contract (see the
+/// module docs).
+fn run_search_mode(config: &SearchConfig, backend: &str, cex_dir: Option<&str>) {
+    eprintln!(
+        "searching: seed {}, budget {}, {} workers, {backend} backend{}{}",
+        config.seed,
+        config.budget,
+        config.workers,
+        if config.tiny { ", tiny grids" } else { "" },
+        config
+            .rig
+            .map(|r| format!(", rig {}", r.name()))
+            .unwrap_or_default(),
+    );
+    let report: SearchReport = match backend {
+        "sequential" => run_search(config, Sequential),
+        "parallel" => run_search(config, Parallel::default()),
+        _ => usage(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("search failed to execute: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", report.summary());
+    for signature in &report.coverage {
+        println!("  coverage {signature}");
+    }
+    for cex in &report.counterexamples {
+        println!(
+            "  counterexample {} violates [{}] at events [{}..{}] (digest {})",
+            cex.label,
+            cex.violated.join(","),
+            cex.span.0,
+            cex.span.1,
+            cex.digest,
+        );
+    }
+    if let Some(dir) = cex_dir {
+        if !report.counterexamples.is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(1);
+            });
+        }
+        for cex in &report.counterexamples {
+            let path = format!("{dir}/{}.cex", cex.label);
+            match std::fs::write(&path, cex.render()) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    match config.rig {
+        // Rigged runs are the searcher's health check: the planted
+        // violation MUST be found, shrunk and emitted.
+        Some(rig) => {
+            if report.counterexamples.is_empty() {
+                eprintln!(
+                    "SEARCH UNHEALTHY: rig {} planted a violation the search did not find",
+                    rig.name()
+                );
+                std::process::exit(1);
+            }
+        }
+        // Unrigged runs are the tripwire: any novel violation is a real
+        // bug in protocol, harness or predicate plane.
+        None => {
+            if !report.findings.is_empty() {
+                for finding in &report.findings {
+                    eprintln!(
+                        "NOVEL VIOLATION {}: [{}] outside the expected set",
+                        finding.candidate.label(),
+                        finding.novel.join(","),
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Replays every `*.cex` file under `dir` on the chosen backend; any
+/// mismatch (or an unparseable/empty directory) is fatal.
+fn replay_counterexamples(dir: &str, backend: &str) {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(1);
+        })
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "cex"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .cex files under {dir}");
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let cex = Counterexample::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let mismatches = match backend {
+            "sequential" => cex.replay(Sequential),
+            "parallel" => cex.replay(Parallel::default()),
+            _ => usage(),
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("{} failed to execute: {e}", cex.label);
+            std::process::exit(1);
+        });
+        if mismatches.is_empty() {
+            eprintln!("replayed {} clean ({})", cex.label, path.display());
+        } else {
+            failed = true;
+            for mismatch in &mismatches {
+                eprintln!("CEX MISMATCH {}: {mismatch}", cex.label);
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "{} counterexamples replayed clean on {backend}",
+        paths.len()
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -123,6 +283,7 @@ fn main() {
     let tiny = flag("--tiny");
     let sweep = flag("--sweep");
     let list = flag("--list");
+    let search = flag("--search");
     let seed: u64 = match args.iter().position(|a| a == "--seed") {
         Some(pos) => parse(&mut args, pos),
         None => 0,
@@ -149,8 +310,52 @@ fn main() {
         .iter()
         .position(|a| a == "--metrics")
         .map(|pos| parse(&mut args, pos));
+    let budget: Option<usize> = args
+        .iter()
+        .position(|a| a == "--budget")
+        .map(|pos| parse(&mut args, pos));
+    let rig: Option<String> = args
+        .iter()
+        .position(|a| a == "--rig")
+        .map(|pos| parse(&mut args, pos));
+    let cex_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--cex-dir")
+        .map(|pos| parse(&mut args, pos));
+    let replay_cex: Option<String> = args
+        .iter()
+        .position(|a| a == "--replay-cex")
+        .map(|pos| parse(&mut args, pos));
     if !args.is_empty() {
         usage();
+    }
+
+    // Counterexample replay: re-execute every checked-in `.cex` file and
+    // fail on any divergence from its pinned digest/verdicts.
+    if let Some(dir) = replay_cex {
+        replay_counterexamples(&dir, &backend);
+        return;
+    }
+
+    // Search mode: coverage-guided adversary search over the sweep grids.
+    if search {
+        let mut config = if tiny {
+            SearchConfig::tiny(seed)
+        } else {
+            SearchConfig::new(seed)
+        };
+        config.workers = workers;
+        if let Some(budget) = budget {
+            config.budget = budget;
+        }
+        if let Some(name) = &rig {
+            config.rig = Some(Rig::from_name(name).unwrap_or_else(|| {
+                eprintln!("unknown rig '{name}' (known: loosen-flooding)");
+                std::process::exit(2);
+            }));
+        }
+        run_search_mode(&config, &backend, cex_dir.as_deref());
+        return;
     }
 
     // The metrics plane is off by default (zero hot-path overhead); the

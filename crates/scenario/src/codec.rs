@@ -1,0 +1,385 @@
+//! A compact, line-safe text codec for [`AdversarySpec`] — the
+//! serialisation the counterexample files ([`crate::cex`]) store and the
+//! search loop uses for canonical candidate identities.
+//!
+//! Every spec renders as a functional term, e.g.
+//! `flood(corrupt=0;victims=;junk=2048;rounds=3)` or
+//! `triggered(trigger=m-committee-announced;base=silent(corrupt=0,1))`, and
+//! [`parse_spec`] is the exact inverse of [`encode_spec`] (round-tripping
+//! is property-tested). The grammar nests through `triggered` and `both`,
+//! splitting arguments on top-level `;` only, so tags and fields may not
+//! contain `;`, `(`, `)` or `=` — which the frame vocabulary never does.
+
+use mpca_net::MilestoneKind;
+
+use crate::spec::{AdversarySpec, CorruptionSpec, TriggerSpec};
+
+/// Renders a corruption spec: `none`, `seeded:3`, or a comma-joined
+/// explicit index list (`0,5`; the empty explicit list renders as `none`).
+pub fn encode_corruption(corrupt: &CorruptionSpec) -> String {
+    match corrupt {
+        CorruptionSpec::None => "none".into(),
+        CorruptionSpec::Explicit(indices) if indices.is_empty() => "none".into(),
+        CorruptionSpec::Explicit(indices) => indices
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        CorruptionSpec::Seeded { count } => format!("seeded:{count}"),
+    }
+}
+
+/// Parses [`encode_corruption`]'s output.
+pub fn parse_corruption(text: &str) -> Result<CorruptionSpec, String> {
+    if text == "none" {
+        return Ok(CorruptionSpec::None);
+    }
+    if let Some(count) = text.strip_prefix("seeded:") {
+        let count = count
+            .parse()
+            .map_err(|_| format!("bad seeded corruption count '{count}'"))?;
+        return Ok(CorruptionSpec::Seeded { count });
+    }
+    Ok(CorruptionSpec::Explicit(parse_indices(text)?))
+}
+
+fn encode_indices(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_indices(text: &str) -> Result<Vec<usize>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            part.parse()
+                .map_err(|_| format!("bad party index '{part}'"))
+        })
+        .collect()
+}
+
+fn encode_trigger(trigger: &TriggerSpec) -> String {
+    match trigger {
+        TriggerSpec::AtRound(r) => format!("r{r}"),
+        TriggerSpec::BytesDelivered(b) => format!("b{b}"),
+        TriggerSpec::MessageFrom(p) => format!("from{p}"),
+        TriggerSpec::AtMilestone(kind) => format!("m-{}", kind.name()),
+    }
+}
+
+fn parse_trigger(text: &str) -> Result<TriggerSpec, String> {
+    if let Some(name) = text.strip_prefix("m-") {
+        let kind = MilestoneKind::from_name(name)
+            .ok_or_else(|| format!("unknown milestone '{name}' in trigger"))?;
+        return Ok(TriggerSpec::AtMilestone(kind));
+    }
+    if let Some(p) = text.strip_prefix("from") {
+        return Ok(TriggerSpec::MessageFrom(
+            p.parse()
+                .map_err(|_| format!("bad trigger party index '{p}'"))?,
+        ));
+    }
+    if let Some(b) = text.strip_prefix('b') {
+        return Ok(TriggerSpec::BytesDelivered(
+            b.parse()
+                .map_err(|_| format!("bad trigger byte count '{b}'"))?,
+        ));
+    }
+    if let Some(r) = text.strip_prefix('r') {
+        return Ok(TriggerSpec::AtRound(
+            r.parse().map_err(|_| format!("bad trigger round '{r}'"))?,
+        ));
+    }
+    Err(format!("unrecognised trigger '{text}'"))
+}
+
+/// Renders an adversary spec as a single-line functional term.
+pub fn encode_spec(spec: &AdversarySpec) -> String {
+    match spec {
+        AdversarySpec::Honest => "honest".into(),
+        AdversarySpec::HonestProxy { corrupt } => {
+            format!("honest-proxy(corrupt={})", encode_corruption(corrupt))
+        }
+        AdversarySpec::Silent { corrupt } => {
+            format!("silent(corrupt={})", encode_corruption(corrupt))
+        }
+        AdversarySpec::Flood {
+            corrupt,
+            victims,
+            junk_bytes,
+            round_budget,
+        } => format!(
+            "flood(corrupt={};victims={};junk={junk_bytes};rounds={})",
+            encode_corruption(corrupt),
+            encode_indices(victims),
+            round_budget.map_or("never".into(), |r| r.to_string()),
+        ),
+        AdversarySpec::AbortAt { corrupt, round } => format!(
+            "abort-at(corrupt={};round={round})",
+            encode_corruption(corrupt)
+        ),
+        AdversarySpec::Withhold {
+            corrupt,
+            recipients,
+        } => format!(
+            "withhold(corrupt={};recipients={})",
+            encode_corruption(corrupt),
+            encode_indices(recipients),
+        ),
+        AdversarySpec::Equivocate { corrupt, victims } => format!(
+            "equivocate(corrupt={};victims={})",
+            encode_corruption(corrupt),
+            encode_indices(victims),
+        ),
+        AdversarySpec::EquivocateFrame {
+            corrupt,
+            victims,
+            tag,
+            field,
+        } => format!(
+            "equivocate-frame(corrupt={};victims={};tag={tag};field={field})",
+            encode_corruption(corrupt),
+            encode_indices(victims),
+        ),
+        AdversarySpec::Triggered { base, trigger } => format!(
+            "triggered(trigger={};base={})",
+            encode_trigger(trigger),
+            encode_spec(base),
+        ),
+        AdversarySpec::Both { a, b } => {
+            format!("both(a={};b={})", encode_spec(a), encode_spec(b))
+        }
+    }
+}
+
+/// Splits `body` into `key=value` pairs on **top-level** `;` (semicolons
+/// inside nested parentheses belong to the nested term).
+fn split_args(body: &str) -> Result<Vec<(&str, &str)>, String> {
+    let mut pairs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("unbalanced parentheses in '{body}'"))?
+            }
+            ';' if depth == 0 => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(format!("unbalanced parentheses in '{body}'"));
+    }
+    pairs.push(&body[start..]);
+    pairs
+        .into_iter()
+        .map(|pair| {
+            pair.split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{pair}'"))
+        })
+        .collect()
+}
+
+/// Looks up a required argument by key.
+fn arg<'a>(pairs: &[(&'a str, &'a str)], key: &str, term: &str) -> Result<&'a str, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing argument '{key}' in '{term}'"))
+}
+
+/// Parses [`encode_spec`]'s output back into an [`AdversarySpec`].
+pub fn parse_spec(text: &str) -> Result<AdversarySpec, String> {
+    let text = text.trim();
+    if text == "honest" {
+        return Ok(AdversarySpec::Honest);
+    }
+    let (name, rest) = text
+        .split_once('(')
+        .ok_or_else(|| format!("expected name(args), got '{text}'"))?;
+    let body = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("missing closing parenthesis in '{text}'"))?;
+    let pairs = split_args(body)?;
+    let corrupt =
+        || -> Result<CorruptionSpec, String> { parse_corruption(arg(&pairs, "corrupt", text)?) };
+    match name {
+        "honest-proxy" => Ok(AdversarySpec::HonestProxy {
+            corrupt: corrupt()?,
+        }),
+        "silent" => Ok(AdversarySpec::Silent {
+            corrupt: corrupt()?,
+        }),
+        "flood" => {
+            let rounds = arg(&pairs, "rounds", text)?;
+            Ok(AdversarySpec::Flood {
+                corrupt: corrupt()?,
+                victims: parse_indices(arg(&pairs, "victims", text)?)?,
+                junk_bytes: arg(&pairs, "junk", text)?
+                    .parse()
+                    .map_err(|_| format!("bad junk byte count in '{text}'"))?,
+                round_budget: if rounds == "never" {
+                    None
+                } else {
+                    Some(
+                        rounds
+                            .parse()
+                            .map_err(|_| format!("bad round budget in '{text}'"))?,
+                    )
+                },
+            })
+        }
+        "abort-at" => Ok(AdversarySpec::AbortAt {
+            corrupt: corrupt()?,
+            round: arg(&pairs, "round", text)?
+                .parse()
+                .map_err(|_| format!("bad round in '{text}'"))?,
+        }),
+        "withhold" => Ok(AdversarySpec::Withhold {
+            corrupt: corrupt()?,
+            recipients: parse_indices(arg(&pairs, "recipients", text)?)?,
+        }),
+        "equivocate" => Ok(AdversarySpec::Equivocate {
+            corrupt: corrupt()?,
+            victims: parse_indices(arg(&pairs, "victims", text)?)?,
+        }),
+        "equivocate-frame" => Ok(AdversarySpec::EquivocateFrame {
+            corrupt: corrupt()?,
+            victims: parse_indices(arg(&pairs, "victims", text)?)?,
+            tag: arg(&pairs, "tag", text)?.to_string(),
+            field: arg(&pairs, "field", text)?.to_string(),
+        }),
+        "triggered" => Ok(AdversarySpec::Triggered {
+            trigger: parse_trigger(arg(&pairs, "trigger", text)?)?,
+            base: Box::new(parse_spec(arg(&pairs, "base", text)?)?),
+        }),
+        "both" => Ok(AdversarySpec::Both {
+            a: Box::new(parse_spec(arg(&pairs, "a", text)?)?),
+            b: Box::new(parse_spec(arg(&pairs, "b", text)?)?),
+        }),
+        _ => Err(format!("unknown adversary class '{name}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(spec: AdversarySpec) {
+        let encoded = encode_spec(&spec);
+        let parsed = parse_spec(&encoded).unwrap_or_else(|e| panic!("parse '{encoded}': {e}"));
+        assert_eq!(parsed, spec, "codec must round-trip '{encoded}'");
+    }
+
+    #[test]
+    fn every_class_round_trips() {
+        round_trips(AdversarySpec::Honest);
+        round_trips(AdversarySpec::HonestProxy {
+            corrupt: CorruptionSpec::Seeded { count: 2 },
+        });
+        round_trips(AdversarySpec::Silent {
+            corrupt: CorruptionSpec::Explicit(vec![0, 5]),
+        });
+        round_trips(AdversarySpec::Flood {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![],
+            junk_bytes: 2048,
+            round_budget: None,
+        });
+        round_trips(AdversarySpec::Flood {
+            corrupt: CorruptionSpec::Explicit(vec![1, 2]),
+            victims: vec![3, 4],
+            junk_bytes: 64,
+            round_budget: Some(3),
+        });
+        round_trips(AdversarySpec::AbortAt {
+            corrupt: CorruptionSpec::Explicit(vec![0, 1]),
+            round: 4,
+        });
+        round_trips(AdversarySpec::Withhold {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            recipients: vec![2, 3],
+        });
+        round_trips(AdversarySpec::Equivocate {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![1],
+        });
+        round_trips(AdversarySpec::EquivocateFrame {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![1, 2, 3],
+            tag: "mpc:input-ct".into(),
+            field: "c2.0".into(),
+        });
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let flood = AdversarySpec::Flood {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![],
+            junk_bytes: 1024,
+            round_budget: Some(2),
+        };
+        round_trips(AdversarySpec::Triggered {
+            base: Box::new(flood.clone()),
+            trigger: TriggerSpec::AtMilestone(MilestoneKind::CommitteeAnnounced),
+        });
+        round_trips(AdversarySpec::Triggered {
+            base: Box::new(flood.clone()),
+            trigger: TriggerSpec::BytesDelivered(4096),
+        });
+        round_trips(AdversarySpec::Both {
+            a: Box::new(AdversarySpec::Silent {
+                corrupt: CorruptionSpec::Explicit(vec![0]),
+            }),
+            b: Box::new(AdversarySpec::Triggered {
+                base: Box::new(flood),
+                trigger: TriggerSpec::AtRound(1),
+            }),
+        });
+    }
+
+    #[test]
+    fn rendering_is_the_documented_shape() {
+        let spec = AdversarySpec::Flood {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![],
+            junk_bytes: 2048,
+            round_budget: Some(3),
+        };
+        assert_eq!(
+            encode_spec(&spec),
+            "flood(corrupt=0;victims=;junk=2048;rounds=3)"
+        );
+        assert_eq!(
+            encode_corruption(&CorruptionSpec::Seeded { count: 3 }),
+            "seeded:3"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "flood(corrupt=0",
+            "unknown(x=1)",
+            "flood(corrupt=0;victims=)",
+            "silent(corrupt=seeded:x)",
+            "triggered(trigger=z9;base=honest)",
+            "silent(corrupt=0))",
+        ] {
+            assert!(parse_spec(bad).is_err(), "'{bad}' must not parse");
+        }
+    }
+}

@@ -52,16 +52,22 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cex;
+pub mod codec;
 pub mod oracle;
 pub mod plan;
 pub mod registry;
 pub mod report;
+pub mod search;
 pub mod spec;
 
+pub use cex::{CexMismatch, Counterexample, CEX_SCHEMA};
+pub use codec::{encode_spec, parse_spec};
 pub use oracle::{Oracle, Property, PropertyCheck, ScenarioOutcome, Verdict};
 pub use plan::{
     campaign_by_name, standard_campaign, sweep_campaign, tiny_campaign, tiny_sweep_campaign,
     Campaign, Expectation, Scenario, ScenarioPlan,
 };
 pub use report::CampaignReport;
+pub use search::{run_search, Candidate, Finding, Rig, SearchConfig, SearchReport};
 pub use spec::{AdversarySpec, CorruptionSpec, TriggerSpec};

@@ -2,7 +2,7 @@
 //! the paper's guarantees.
 //!
 //! The [`Oracle`] evaluates a pool [`SessionReport`] (outcome digests,
-//! structured abort reasons, `CommStats`) against five predicates drawn
+//! structured abort reasons, `CommStats`) against six predicates drawn
 //! from the paper's §3.1 model and theorem statements:
 //!
 //! 1. [`AgreementOrAbort`](Property::AgreementOrAbort) — no two honest
@@ -34,6 +34,15 @@
 //!    [`ProtocolKind::locality_budget`](mpca_core::ProtocolKind::locality_budget)).
 //!    Locality is measured honest-to-honest, so adversarial junk deliveries
 //!    can no more inflate it than they can inflate charged bits.
+//! 6. [`TracePredicates`](Property::TracePredicates) — for sessions whose
+//!    full event stream was retained
+//!    ([`SessionPool::with_trace_logs`](mpca_engine::SessionPool::with_trace_logs)),
+//!    the `mpca-predicate` [`standard_set`](mpca_predicate::standard_set)
+//!    must hold over the [`TaggedTrace`](mpca_trace::TaggedTrace): frame
+//!    legality, termination silence, detection-in-verification, phase
+//!    monotonicity and the flooding rule **as stream properties**, each
+//!    reported with its first violating event span. Sessions without a
+//!    retained stream trivially hold (there is nothing to evaluate).
 
 use std::collections::BTreeSet;
 
@@ -56,16 +65,20 @@ pub enum Property {
     /// Honest-to-honest per-party locality within the family's promise
     /// (Theorems 2/4).
     LocalityBudget,
+    /// The `mpca-predicate` standard set holds over the retained event
+    /// stream (trivially holds when no stream was retained).
+    TracePredicates,
 }
 
 impl Property {
     /// All properties, in report order.
-    pub const ALL: [Property; 5] = [
+    pub const ALL: [Property; 6] = [
         Property::AgreementOrAbort,
         Property::IdentifiedAbort,
         Property::FloodingRule,
         Property::CommBudget,
         Property::LocalityBudget,
+        Property::TracePredicates,
     ];
 
     /// Short stable name.
@@ -76,6 +89,7 @@ impl Property {
             Property::FloodingRule => "flooding-rule",
             Property::CommBudget => "comm-budget",
             Property::LocalityBudget => "locality-budget",
+            Property::TracePredicates => "trace-predicates",
         }
     }
 }
@@ -157,7 +171,25 @@ impl ScenarioOutcome {
         match self.scenario.expectation {
             Expectation::Holds => self.holds(),
             Expectation::ViolatesAgreement => violates_only(Property::AgreementOrAbort),
-            Expectation::ViolatesFloodingRule => violates_only(Property::FloodingRule),
+            Expectation::ViolatesFloodingRule => {
+                // A charged-flood control violates the report-level flooding
+                // rule always, and the stream-level `flooding-never-charged`
+                // predicate exactly when the stream was retained for the
+                // predicate plane to see. Everything else must hold.
+                let trace_predicates =
+                    self.check(Property::TracePredicates).verdict == Verdict::Violated;
+                let others_hold = self
+                    .checks
+                    .iter()
+                    .filter(|c| {
+                        c.property != Property::FloodingRule
+                            && c.property != Property::TracePredicates
+                    })
+                    .all(|c| c.verdict == Verdict::Holds);
+                self.check(Property::FloodingRule).verdict == Verdict::Violated
+                    && others_hold
+                    && trace_predicates == self.report.trace_log.is_some()
+            }
             Expectation::DetectsEquivocation => {
                 use mpca_net::AbortReason;
                 let detected = self.report.abort_reasons.values().any(|r| {
@@ -177,7 +209,7 @@ impl ScenarioOutcome {
     }
 
     /// Compact verdict rendering, one letter per property in
-    /// [`Property::ALL`] order (e.g. `HHHHH`, `VHHHH`).
+    /// [`Property::ALL`] order (e.g. `HHHHHH`, `VHHHHH`).
     pub fn verdict_letters(&self) -> String {
         self.checks.iter().map(|c| c.verdict.letter()).collect()
     }
@@ -262,12 +294,13 @@ fn charged_honest_bits(report: &SessionReport) -> u64 {
 ///     peak_inbox_bytes: 0,
 ///     peak_inbox_envelopes: 0,
 ///     trace: None,
+///     trace_log: None,
 ///     wall: Duration::ZERO,
 ///     phase_bytes: mpca_metrics::PhaseBytes::new(),
 /// };
 /// let outcome = Oracle::new().evaluate(scenario, report);
 /// assert!(outcome.holds());
-/// assert_eq!(outcome.verdict_letters(), "HHHHH");
+/// assert_eq!(outcome.verdict_letters(), "HHHHHH");
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Oracle;
@@ -288,11 +321,14 @@ impl Oracle {
         let flooding = check_flooding(&report, &corrupted);
         let budget = check_budget(&scenario, &report);
         let locality = check_locality(&scenario, &report);
+        let predicates = check_trace_predicates(&scenario, &report);
 
         ScenarioOutcome {
             scenario,
             report,
-            checks: vec![agreement, identified, flooding, budget, locality],
+            checks: vec![
+                agreement, identified, flooding, budget, locality, predicates,
+            ],
         }
     }
 }
@@ -463,6 +499,51 @@ fn check_budget(scenario: &Scenario, report: &SessionReport) -> PropertyCheck {
     }
 }
 
+/// Evaluates the `mpca-predicate` standard set over the session's retained
+/// event stream. Without a retained stream the property trivially holds —
+/// retention is the pool's opt-in
+/// ([`with_trace_logs`](mpca_engine::SessionPool::with_trace_logs)), and a
+/// summary digest alone cannot be evaluated span by span.
+fn check_trace_predicates(scenario: &Scenario, report: &SessionReport) -> PropertyCheck {
+    let Some(log) = &report.trace_log else {
+        return PropertyCheck {
+            property: Property::TracePredicates,
+            verdict: Verdict::Holds,
+            details: "no trace retained; predicate set not evaluated".into(),
+        };
+    };
+    let trace = mpca_trace::TaggedTrace::new(log, scenario.kind);
+    let set = mpca_predicate::standard_set(scenario.kind, None);
+    let violations = mpca_predicate::eval_set(&set, &trace);
+    match violations.split_first() {
+        None => PropertyCheck {
+            property: Property::TracePredicates,
+            verdict: Verdict::Holds,
+            details: format!(
+                "{} predicates hold over {} events",
+                set.len(),
+                trace.entries.len()
+            ),
+        },
+        Some((first, rest)) => PropertyCheck {
+            property: Property::TracePredicates,
+            verdict: Verdict::Violated,
+            details: format!(
+                "{} violated at events [{}..{}]: {}{}",
+                first.name,
+                first.violation.span.start,
+                first.violation.span.end,
+                first.violation.details,
+                if rest.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (+{} more)", rest.len())
+                },
+            ),
+        },
+    }
+}
+
 fn check_locality(scenario: &Scenario, report: &SessionReport) -> PropertyCheck {
     let honest: BTreeSet<PartyId> = report.outcomes.keys().copied().collect();
     let locality = report.stats.max_locality_within(&honest);
@@ -517,6 +598,7 @@ mod tests {
             peak_inbox_bytes: 0,
             peak_inbox_envelopes: 0,
             trace: None,
+            trace_log: None,
             wall: Duration::ZERO,
             phase_bytes: mpca_metrics::PhaseBytes::new(),
         }
@@ -533,7 +615,7 @@ mod tests {
             ]),
         );
         assert!(outcome.holds(), "{:?}", outcome.checks);
-        assert_eq!(outcome.verdict_letters(), "HHHHH");
+        assert_eq!(outcome.verdict_letters(), "HHHHHH");
         assert!(outcome.as_expected());
     }
 
@@ -548,7 +630,7 @@ mod tests {
         );
         assert!(outcome.agreement_violated());
         assert!(!outcome.holds());
-        assert_eq!(outcome.verdict_letters(), "VHHHH");
+        assert_eq!(outcome.verdict_letters(), "VHHHHH");
         assert!(!outcome.as_expected(), "scenario expected Holds");
     }
 

@@ -287,20 +287,22 @@ impl Campaign {
         backend: B,
         workers: usize,
     ) -> Result<CampaignReport, NetError> {
-        self.run_configured(backend, workers, false, |_| {})
+        self.run_configured(backend, workers, false, false, |_| {})
     }
 
     /// [`run`](Self::run) with execution **tracing** enabled: every
     /// session's [`SessionReport`](mpca_engine::SessionReport) carries a
     /// trace summary (canonical digest + trace-derived abort reasons), the
     /// oracle's identified-abort predicate becomes behavioural, and the
-    /// digests feed `campaign --record` / `--replay`.
+    /// digests feed `campaign --record` / `--replay`. The full event
+    /// streams are retained too, so the oracle's trace-predicate property
+    /// evaluates for real (not trivially).
     pub fn run_traced<B: ExecutionBackend>(
         &self,
         backend: B,
         workers: usize,
     ) -> Result<CampaignReport, NetError> {
-        self.run_configured(backend, workers, true, |_| {})
+        self.run_configured(backend, workers, true, true, |_| {})
     }
 
     /// [`run`](Self::run) with a per-session progress observer (see
@@ -316,15 +318,18 @@ impl Campaign {
         B: ExecutionBackend,
         F: Fn(mpca_engine::SessionProgress) + Send + Sync + 'static,
     {
-        self.run_configured(backend, workers, false, progress)
+        self.run_configured(backend, workers, false, false, progress)
     }
 
-    /// The fully configured run: backend, workers, tracing, progress.
+    /// The fully configured run: backend, workers, tracing, full-stream
+    /// retention (`retain_logs`, which gives the oracle's trace-predicate
+    /// property a stream to evaluate — requires `traced`), progress.
     pub fn run_configured<B, F>(
         &self,
         backend: B,
         workers: usize,
         traced: bool,
+        retain_logs: bool,
         progress: F,
     ) -> Result<CampaignReport, NetError>
     where
@@ -335,6 +340,7 @@ impl Campaign {
         let mut pool = SessionPool::new(backend)
             .with_workers(workers)
             .with_tracing(traced)
+            .with_trace_logs(traced && retain_logs)
             .with_progress(progress);
         pool.reserve(scenarios.len());
         for scenario in &scenarios {

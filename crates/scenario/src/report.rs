@@ -29,7 +29,7 @@ impl CampaignReport {
     /// [`Property::ALL`](crate::Property::ALL) order, the expectation-match
     /// column, and one charged-bytes column per protocol phase in
     /// [`Phase::ALL`](mpca_metrics::Phase::ALL) order.
-    pub const ROW_HEADERS: [&'static str; 20] = [
+    pub const ROW_HEADERS: [&'static str; 21] = [
         "scenario",
         "protocol",
         "adversary",
@@ -43,6 +43,7 @@ impl CampaignReport {
         "F",
         "B",
         "L",
+        "P",
         "expected?",
         "setup B",
         "crs B",
@@ -127,7 +128,7 @@ impl CampaignReport {
     }
 
     /// A stable, backend-independent digest of every verdict — one line per
-    /// scenario (`label=HHHHH`). Byte-identical across backends and worker
+    /// scenario (`label=HHHHHH`). Byte-identical across backends and worker
     /// counts; the determinism proptests compare exactly this string.
     pub fn verdict_digest(&self) -> String {
         self.outcomes
@@ -209,6 +210,6 @@ mod tests {
         assert!(report.summary().contains("2 scenarios"));
         let digest = report.verdict_digest();
         assert_eq!(digest.lines().count(), 2);
-        assert!(digest.contains("=HHHHH"), "{digest}");
+        assert!(digest.contains("=HHHHHH"), "{digest}");
     }
 }

@@ -17,7 +17,7 @@
 //! both backends.
 
 use mpca_metrics::{PhaseBytes, PhaseClock};
-use mpca_net::{MilestoneKind, TraceEvent, TraceLog};
+use mpca_net::{TraceEvent, TraceLog};
 
 use crate::tagged::{TaggedEntry, TaggedTrace};
 
@@ -62,14 +62,7 @@ impl PhaseLedger {
                 TaggedEntry::Send {
                     bytes, injected, ..
                 } => ledger.charge(&clock, *bytes as u64, *injected, charges_adversary),
-                TaggedEntry::Milestone { name, .. } => {
-                    // Aborted milestones render as "aborted (reason)";
-                    // strip the reason before resolving the kind.
-                    let kind = name.split(" (").next().and_then(MilestoneKind::from_name);
-                    if let Some(kind) = kind {
-                        clock.advance_to(kind.phase());
-                    }
-                }
+                TaggedEntry::Milestone { kind, .. } => clock.advance_to(kind.phase()),
             }
         }
         ledger

@@ -39,4 +39,4 @@ mod tagged;
 pub use file::{ReplayMismatch, TraceFile, TraceRecord};
 pub use ledger::PhaseLedger;
 pub use summary::{digest_hex, TraceSummary};
-pub use tagged::{TaggedEntry, TaggedTrace};
+pub use tagged::{payload_fingerprint, TaggedEntry, TaggedTrace};

@@ -26,13 +26,19 @@
 //!   structured event stream ([`TraceSummary`](trace::TraceSummary)),
 //!   frame-tagged transcripts, and the `campaign --record` / `--replay`
 //!   file format,
+//! * [`predicate`] — the trace-predicate plane: a combinator language over
+//!   frame-tagged transcripts (frame legality, per-phase byte ceilings,
+//!   temporal rules, quantifiers) compiled into single-pass evaluators that
+//!   report the first violating event span,
 //! * [`engine`] — the batch-execution runtime: sequential/parallel
 //!   round-stepping backends and a [`SessionPool`](engine::SessionPool) for
 //!   running fleets of sessions concurrently with deterministic results,
 //! * [`scenario`] — declarative adversarial scenarios: adversary classes as
 //!   data ([`AdversarySpec`](scenario::AdversarySpec)), campaign plans that
-//!   compile into pooled batches, and a security-property oracle checking
-//!   every execution against the paper's predicates.
+//!   compile into pooled batches, a security-property oracle checking every
+//!   execution against the paper's predicates, and a coverage-guided
+//!   adversary search ([`run_search`](scenario::run_search)) that shrinks
+//!   novel predicate violations into replayable counterexamples.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +76,7 @@ pub use mpca_encfunc as encfunc;
 pub use mpca_engine as engine;
 pub use mpca_metrics as metrics;
 pub use mpca_net as net;
+pub use mpca_predicate as predicate;
 pub use mpca_scenario as scenario;
 pub use mpca_trace as trace;
 pub use mpca_wire as wire;

@@ -1,0 +1,198 @@
+//! Property tests for the trace-predicate plane (`mpca-predicate`) as the
+//! oracle and search loop consume it: honest executions of **every**
+//! protocol family satisfy the family's full predicate set at any seed on
+//! any backend, while the rigged controls — an equivocated unchecked sum, a
+//! charged flood — violate **exactly** their intended predicate, with a
+//! meaningful first-violation event span.
+
+use proptest::prelude::*;
+
+use mpc_aborts::engine::{ExecutionBackend, Parallel, Sequential, SessionPool, SessionReport};
+use mpc_aborts::predicate::{eval_set, full_set, SetViolation};
+use mpc_aborts::protocols::{ExecutionPath, ProtocolKind};
+use mpc_aborts::scenario::{
+    registry, AdversarySpec, CorruptionSpec, Expectation, Scenario, TriggerSpec,
+};
+use mpc_aborts::trace::TaggedTrace;
+
+/// Builds one concrete scenario at the family's smallest sweep grid point.
+fn scenario(kind: ProtocolKind, adversary: AdversarySpec, charge: bool, seed: u64) -> Scenario {
+    let (n, h) = kind.sweep_grid()[0];
+    Scenario {
+        label: format!("pred-{}-{seed}", kind.name()),
+        kind,
+        n,
+        h,
+        path: ExecutionPath::Concrete,
+        adversary,
+        seed,
+        charge_adversary_bytes: charge,
+        expectation: Expectation::Holds,
+    }
+}
+
+/// Runs one scenario as a traced, stream-retaining single-session pool.
+fn run_traced<B: ExecutionBackend>(scenario: &Scenario, backend: B) -> SessionReport {
+    let mut pool = SessionPool::new(backend)
+        .with_workers(1)
+        .with_tracing(true)
+        .with_trace_logs(true);
+    registry::submit_scenario(&mut pool, scenario);
+    let mut batch = pool.run().expect("scenario executes");
+    batch.sessions.remove(0)
+}
+
+/// Full-set violations of one executed scenario.
+fn violations(scenario: &Scenario, report: &SessionReport) -> Vec<SetViolation> {
+    let log = report.trace_log.as_ref().expect("stream retained");
+    let trace = TaggedTrace::new(log, scenario.kind);
+    eval_set(&full_set(scenario.kind, None), &trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Honest executions of all six families pass the entire full predicate
+    /// set — frame legality, temporal rules, flooding, consistency — at any
+    /// seed, on both backends.
+    #[test]
+    fn honest_runs_satisfy_the_full_predicate_set(seed in any::<u64>(), parallel in any::<bool>()) {
+        for kind in ProtocolKind::ALL {
+            let scenario = scenario(kind, AdversarySpec::Honest, false, seed);
+            let report = if parallel {
+                run_traced(&scenario, Parallel::default())
+            } else {
+                run_traced(&scenario, Sequential)
+            };
+            let violated = violations(&scenario, &report);
+            prop_assert!(
+                violated.is_empty(),
+                "honest {} run (seed {seed}) violated {:?}",
+                kind.name(),
+                violated.iter().map(|v| v.name).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    /// Benign (non-rigged) adversaries — silence, crashes, withheld frames,
+    /// an uncharged triggered flood — never trip the predicate plane either:
+    /// the predicates judge *detectable misbehaviour*, not mere corruption.
+    #[test]
+    fn benign_adversaries_stay_clean(seed in any::<u64>()) {
+        let cases: Vec<(ProtocolKind, AdversarySpec)> = vec![
+            (
+                ProtocolKind::Theorem1Mpc,
+                AdversarySpec::Silent { corrupt: CorruptionSpec::Explicit(vec![0]) },
+            ),
+            (
+                ProtocolKind::Theorem2LocalMpc,
+                AdversarySpec::AbortAt { corrupt: CorruptionSpec::Explicit(vec![0]), round: 3 },
+            ),
+            (
+                ProtocolKind::Broadcast,
+                AdversarySpec::Withhold {
+                    corrupt: CorruptionSpec::Explicit(vec![0]),
+                    recipients: vec![2],
+                },
+            ),
+            (
+                ProtocolKind::SuccinctAllToAll,
+                AdversarySpec::Triggered {
+                    base: Box::new(AdversarySpec::Flood {
+                        corrupt: CorruptionSpec::Explicit(vec![0]),
+                        victims: vec![],
+                        junk_bytes: 512,
+                        round_budget: Some(2),
+                    }),
+                    trigger: TriggerSpec::AtRound(1),
+                },
+            ),
+        ];
+        for (kind, adversary) in cases {
+            let scenario = scenario(kind, adversary, false, seed);
+            let report = run_traced(&scenario, Sequential);
+            let violated = violations(&scenario, &report);
+            prop_assert!(
+                violated.is_empty(),
+                "benign {} adversary (seed {seed}) violated {:?}",
+                kind.name(),
+                violated.iter().map(|v| v.name).collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+/// The equivocated unchecked sum — the campaign's standing agreement
+/// control — violates exactly `broadcast-consistency`, nothing else, and
+/// pins a span inside the event stream. Both backends agree on the span.
+#[test]
+fn equivocated_sum_violates_exactly_broadcast_consistency() {
+    let scenario = scenario(
+        ProtocolKind::UncheckedSum,
+        AdversarySpec::Equivocate {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![1],
+        },
+        false,
+        11,
+    );
+    let report = run_traced(&scenario, Sequential);
+    let violated = violations(&scenario, &report);
+    assert_eq!(
+        violated.iter().map(|v| v.name).collect::<Vec<_>>(),
+        ["broadcast-consistency"],
+        "exactly the intended predicate must fire: {violated:?}"
+    );
+    let events = report.trace.as_ref().unwrap().events as usize;
+    let span = violated[0].violation.span;
+    assert!(
+        span.start <= span.end && span.end < events,
+        "span {span:?} within {events} events"
+    );
+
+    let parallel = run_traced(&scenario, Parallel::default());
+    let parallel_violated = violations(&scenario, &parallel);
+    assert_eq!(
+        parallel_violated[0].violation.span, span,
+        "first-violation span is backend-independent"
+    );
+}
+
+/// The charged flood — the campaign's standing flooding control — violates
+/// exactly `flooding-never-charged`: junk bytes landed in the honest
+/// parties' charged communication, which the stream-level predicate must
+/// localise to the flooded rounds.
+#[test]
+fn charged_flood_violates_exactly_the_flooding_rule() {
+    let scenario = scenario(
+        ProtocolKind::SuccinctAllToAll,
+        AdversarySpec::Flood {
+            corrupt: CorruptionSpec::Explicit(vec![0]),
+            victims: vec![],
+            junk_bytes: 2048,
+            round_budget: None,
+        },
+        true,
+        11,
+    );
+    let report = run_traced(&scenario, Sequential);
+    let violated = violations(&scenario, &report);
+    assert_eq!(
+        violated.iter().map(|v| v.name).collect::<Vec<_>>(),
+        ["flooding-never-charged"],
+        "exactly the intended predicate must fire: {violated:?}"
+    );
+    let events = report.trace.as_ref().unwrap().events as usize;
+    let span = violated[0].violation.span;
+    assert!(
+        span.start <= span.end && span.end < events,
+        "span {span:?} within {events} events"
+    );
+
+    // The identical uncharged flood is clean — the predicate reads the
+    // charging mode out of the stream, not the adversary's shape.
+    let mut uncharged = scenario.clone();
+    uncharged.charge_adversary_bytes = false;
+    let report = run_traced(&uncharged, Sequential);
+    assert!(violations(&uncharged, &report).is_empty());
+}
