@@ -63,11 +63,34 @@ impl Record {
     }
 }
 
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// checkout (results files must stay writable from release tarballs).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 fn write_json(path: &str, records: &[Record]) {
     let total_wall: u128 = records.iter().map(|r| r.wall_ms).sum();
     let body: Vec<String> = records.iter().map(Record::to_json).collect();
+    let build_profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
     let document = format!(
-        "{{\"schema\":\"mpc-aborts/bench-results/v1\",\"total_wall_ms\":{},\"experiments\":[{}]}}\n",
+        "{{\"schema\":\"mpc-aborts/bench-results/v1\",\
+         \"meta\":{{\"git_rev\":\"{}\",\"build_profile\":\"{}\"}},\
+         \"total_wall_ms\":{},\"experiments\":[{}]}}\n",
+        json_escape(&git_rev()),
+        build_profile,
         total_wall,
         body.join(","),
     );

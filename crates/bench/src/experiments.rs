@@ -787,6 +787,8 @@ pub fn exp_sweep() -> Table {
             "verdicts",
             "wall p50 ms",
             "wall p99 ms",
+            "queue p50 ms",
+            "queue p99 ms",
         ],
     );
     let campaign = mpca_scenario::sweep_campaign(0);
@@ -864,6 +866,8 @@ pub fn exp_sweep() -> Table {
             },
             "-".into(),
             "-".into(),
+            "-".into(),
+            "-".into(),
         ]);
     }
     table.push_row(vec![
@@ -891,6 +895,8 @@ pub fn exp_sweep() -> Table {
         ),
         format!("{:.2}", report.wall_p50().as_secs_f64() * 1000.0),
         format!("{:.2}", report.wall_p99().as_secs_f64() * 1000.0),
+        format!("{:.2}", report.queue_p50().as_secs_f64() * 1000.0),
+        format!("{:.2}", report.queue_p99().as_secs_f64() * 1000.0),
     ]);
     table
 }
@@ -1269,6 +1275,76 @@ pub fn exp_search() -> Table {
     table
 }
 
+/// `E21-soak` — sustained-load service telemetry (DESIGN.md §12): the
+/// `mpca-obs` open-loop soak harness drives the mixed-traffic
+/// [`SoakWorkload`](mpca_scenario::SoakWorkload) (every protocol family ×
+/// seeded adversary classes, re-seeded per cycle) through the bounded
+/// admission queue at a fixed arrival rate for a few seconds. One row per
+/// telemetry window records arrivals/admitted/shed, the abort rate, rolling
+/// wall p50/p99 and queue-wait p99, and the window's throughput; the TOTAL
+/// row carries the whole-run quantiles the regression sentinel bands. The
+/// arrival schedule is open-loop (arrivals do not wait for completions), so
+/// unlike the one-shot campaign batches this measures the service under
+/// *pressure*: queue waits and shed counts are load signals, not noise.
+pub fn exp_soak() -> Table {
+    use std::time::Duration;
+    let mut table = Table::new(
+        "E21-soak",
+        "Open-loop soak (mixed protocol x adversary traffic, seeded arrival schedule, bounded \
+         admission queue): per-window arrivals/shed/abort-rate/latency-quantile/throughput time \
+         series, whole-run quantiles in the TOTAL row.",
+        &[
+            "window",
+            "arrivals",
+            "admitted",
+            "shed",
+            "completed",
+            "abort rate",
+            "wall p50 ms",
+            "wall p99 ms",
+            "queue p99 ms",
+            "scenarios/s",
+        ],
+    );
+    let workload = mpca_scenario::SoakWorkload::new(0);
+    let config = mpca_obs::SoakConfig::new(Duration::from_secs(4), 150.0)
+        .with_workers(2)
+        .with_capacity(16)
+        .with_seed(0)
+        .with_window(Duration::from_secs(1));
+    let report = mpca_obs::run_soak(&config, &Sequential, |index| workload.task(index));
+    assert_eq!(report.errors, 0, "soak sessions must execute cleanly");
+    assert!(report.completed > 0, "soak must complete sessions");
+    assert!(!report.windows.is_empty(), "soak must emit windows");
+    for window in &report.windows {
+        table.push_row(vec![
+            window.index.to_string(),
+            window.arrivals.to_string(),
+            window.admitted.to_string(),
+            window.shed.to_string(),
+            window.completed.to_string(),
+            format!("{:.1}%", window.abort_rate * 100.0),
+            format!("{:.2}", window.wall_p50_us as f64 / 1e3),
+            format!("{:.2}", window.wall_p99_us as f64 / 1e3),
+            format!("{:.2}", window.queue_p99_us as f64 / 1e3),
+            format!("{:.1}", window.scenarios_per_sec),
+        ]);
+    }
+    table.push_row(vec![
+        "TOTAL".into(),
+        report.arrivals.to_string(),
+        report.admitted.to_string(),
+        report.shed.to_string(),
+        report.completed.to_string(),
+        format!("{:.1}%", report.abort_rate() * 100.0),
+        format!("{:.2}", report.wall_p50_us as f64 / 1e3),
+        format!("{:.2}", report.wall_p99_us as f64 / 1e3),
+        format!("{:.2}", report.queue_p99_us as f64 / 1e3),
+        format!("{:.1}", report.scenarios_per_sec()),
+    ]);
+    table
+}
+
 /// An experiment entry: its id and the function regenerating its table.
 pub type Experiment = (&'static str, fn() -> Table);
 
@@ -1295,6 +1371,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("E18-metrics", exp_metrics),
         ("E19-asymptotics", exp_asymptotics),
         ("E20-search", exp_search),
+        ("E21-soak", exp_soak),
     ]
 }
 
@@ -1343,7 +1420,28 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(all_experiments().len(), 20);
+        assert_eq!(all_experiments().len(), 21);
+    }
+
+    #[test]
+    fn soak_experiment_emits_windows_and_totals() {
+        let _guard = serial();
+        let table = exp_soak();
+        // At least three 1s windows over the 4s run, plus the TOTAL row.
+        assert!(table.rows.len() >= 4, "rows: {}", table.rows.len());
+        let total = table.rows.last().expect("TOTAL row");
+        assert_eq!(total[0], "TOTAL");
+        let arrivals: u64 = total[1].parse().unwrap();
+        let admitted: u64 = total[2].parse().unwrap();
+        let shed: u64 = total[3].parse().unwrap();
+        assert_eq!(admitted + shed, arrivals, "admission conserves arrivals");
+        assert!(total[4].parse::<u64>().unwrap() > 0, "sessions completed");
+        // Window rows partition the totals.
+        let window_arrivals: u64 = table.rows[..table.rows.len() - 1]
+            .iter()
+            .map(|row| row[1].parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(window_arrivals, arrivals);
     }
 
     #[test]

@@ -64,5 +64,5 @@ pub mod pool;
 pub mod report;
 
 pub use backend::{ExecutionBackend, Parallel, Sequential};
-pub use pool::{SessionPool, SessionProgress};
+pub use pool::{SessionPool, SessionProgress, SessionTask};
 pub use report::{BatchReport, OutcomeDigest, SessionReport};

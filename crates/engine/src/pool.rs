@@ -12,10 +12,86 @@ use mpca_net::{NetError, PartyLogic, PayloadAllocStats, Simulator};
 use crate::backend::ExecutionBackend;
 use crate::report::{BatchReport, SessionReport};
 
-type SessionJob<B> = Box<dyn FnOnce(&B) -> Result<SessionReport, NetError> + Send>;
+type SessionJob<B> = Box<dyn FnOnce(&B, bool, bool) -> Result<SessionReport, NetError> + Send>;
 
-struct PoolSession<B> {
+/// One schedulable session, erased to a label plus a deferred
+/// build-and-execute closure over an [`ExecutionBackend`].
+///
+/// [`SessionPool::submit`] constructs these internally, but they are also
+/// first-class: any driver with its own scheduling policy (the `mpca-obs`
+/// soak harness runs an open-loop arrival schedule with a bounded admission
+/// queue) can build tasks, flip tracing per task, and [`run`](Self::run)
+/// them on its own workers — producing the same [`SessionReport`]s a pool
+/// batch would.
+pub struct SessionTask<B: ExecutionBackend> {
+    label: String,
+    tracing: bool,
+    keep_logs: bool,
     job: SessionJob<B>,
+}
+
+impl<B: ExecutionBackend> SessionTask<B> {
+    /// Wraps a simulator constructor into a schedulable task. `build` runs
+    /// on whatever thread eventually calls [`run`](Self::run), so
+    /// construction cost (keygen, input encryption, …) is part of the
+    /// session's wall-clock — same contract as [`SessionPool::submit`].
+    pub fn new<L, F>(label: impl Into<String>, build: F) -> Self
+    where
+        L: PartyLogic + Send + 'static,
+        L::Output: Debug + Send,
+        F: FnOnce() -> Result<Simulator<L>, NetError> + Send + 'static,
+    {
+        let label = label.into();
+        let job_label = label.clone();
+        Self {
+            label,
+            tracing: false,
+            keep_logs: false,
+            job: Box::new(move |backend: &B, tracing: bool, keep_logs: bool| {
+                let start = Instant::now();
+                let mut sim = build()?;
+                if tracing {
+                    sim.record_trace();
+                }
+                let result = backend.execute(sim)?;
+                Ok(SessionReport::from_result_retaining(
+                    job_label,
+                    &result,
+                    start.elapsed(),
+                    keep_logs,
+                ))
+            }),
+        }
+    }
+
+    /// Enables execution tracing for this task (the report carries a
+    /// [`TraceSummary`](mpca_trace::TraceSummary) digest).
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Additionally retains the full event stream as
+    /// [`SessionReport::trace_log`] (no effect unless tracing is enabled).
+    pub fn with_trace_logs(mut self, keep: bool) -> Self {
+        self.keep_logs = keep;
+        self
+    }
+
+    /// The label the task was created under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Builds and executes the session on `backend`, consuming the task.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the simulator constructor or execution surfaces (invalid
+    /// configuration, round-limit overrun).
+    pub fn run(self, backend: &B) -> Result<SessionReport, NetError> {
+        (self.job)(backend, self.tracing, self.keep_logs)
+    }
 }
 
 /// One completed-session notification delivered to a pool progress
@@ -45,7 +121,7 @@ type ProgressFn = Box<dyn Fn(SessionProgress) + Send + Sync>;
 pub struct SessionPool<B: ExecutionBackend> {
     backend: B,
     workers: usize,
-    sessions: Vec<PoolSession<B>>,
+    sessions: Vec<SessionTask<B>>,
     progress: Option<ProgressFn>,
     tracing: bool,
     keep_logs: bool,
@@ -141,25 +217,29 @@ impl<B: ExecutionBackend> SessionPool<B> {
         L::Output: Debug + Send,
         F: FnOnce() -> Result<Simulator<L>, NetError> + Send + 'static,
     {
-        let job_label = label.into();
-        let tracing = self.tracing;
-        let keep_logs = self.keep_logs;
-        self.sessions.push(PoolSession {
-            job: Box::new(move |backend: &B| {
-                let start = Instant::now();
-                let mut sim = build()?;
-                if tracing {
-                    sim.record_trace();
-                }
-                let result = backend.execute(sim)?;
-                Ok(SessionReport::from_result_retaining(
-                    job_label,
-                    &result,
-                    start.elapsed(),
-                    keep_logs,
-                ))
-            }),
-        });
+        let task = SessionTask::new(label, build)
+            .with_tracing(self.tracing)
+            .with_trace_logs(self.keep_logs);
+        self.submit_task(task);
+    }
+
+    /// Submits a pre-built [`SessionTask`] as-is — the task's own
+    /// tracing/retention configuration wins over the pool's (use
+    /// [`SessionPool::tracing`] / [`SessionPool::trace_logs`] to mirror the
+    /// pool's settings onto a task first).
+    pub fn submit_task(&mut self, task: SessionTask<B>) {
+        self.sessions.push(task);
+    }
+
+    /// Whether sessions submitted now would record a trace.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Whether traced sessions submitted now would retain their full event
+    /// stream.
+    pub fn trace_logs(&self) -> bool {
+        self.keep_logs
     }
 
     /// Runs every submitted session and aggregates the batch.
@@ -177,9 +257,9 @@ impl<B: ExecutionBackend> SessionPool<B> {
         // queue, the result slots and the final report vector all have
         // exactly `total` entries, so none of them should grow under the
         // worker threads.
-        let mut pending: VecDeque<(usize, PoolSession<B>)> = VecDeque::with_capacity(total);
+        let mut pending: VecDeque<(usize, SessionTask<B>)> = VecDeque::with_capacity(total);
         pending.extend(self.sessions.into_iter().enumerate());
-        let queue: Mutex<VecDeque<(usize, PoolSession<B>)>> = Mutex::new(pending);
+        let queue: Mutex<VecDeque<(usize, SessionTask<B>)>> = Mutex::new(pending);
         let mut slots: Vec<Mutex<Option<Result<SessionReport, NetError>>>> =
             Vec::with_capacity(total);
         slots.resize_with(total, || Mutex::new(None));
@@ -204,15 +284,21 @@ impl<B: ExecutionBackend> SessionPool<B> {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let next = queue.lock().expect("pool queue poisoned").pop_front();
-                    let Some((index, session)) = next else {
+                    let Some((index, task)) = next else {
                         break;
                     };
+                    // Queue wait: how long the session sat in the queue
+                    // after run() started before a worker picked it up.
+                    // Measured unconditionally (one Instant read) so every
+                    // report carries it; the histogram stays metrics-gated.
+                    let queue_wait = start.elapsed();
                     if let Some((_, queue_hist)) = telemetry {
-                        // Queue wait: how long the session sat in the queue
-                        // after run() started before a worker picked it up.
-                        queue_hist.record(start.elapsed().as_micros() as u64);
+                        queue_hist.record(queue_wait.as_micros() as u64);
                     }
-                    let outcome = (session.job)(backend);
+                    let mut outcome = task.run(backend);
+                    if let Ok(report) = &mut outcome {
+                        report.queue_wait = queue_wait;
+                    }
                     if let (Some((wall_hist, _)), Ok(report)) = (telemetry, &outcome) {
                         wall_hist.record(report.wall.as_micros() as u64);
                     }
@@ -468,6 +554,29 @@ mod tests {
         pool.submit("bad", || sum_sim(0, 0)); // n = 0 is invalid
         pool.submit("ok2", || sum_sim(4, 0));
         assert!(matches!(pool.run(), Err(NetError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn session_tasks_run_standalone_and_match_pooled_submission() {
+        // A task run directly on a backend produces the same report a
+        // pooled submission would — that is what lets the soak harness
+        // schedule tasks under its own admission policy.
+        let direct = SessionTask::new("t", || sum_sim(5, 2))
+            .with_tracing(true)
+            .run(&Sequential)
+            .unwrap();
+        let mut pool = SessionPool::new(Sequential).with_tracing(true);
+        pool.submit_task(SessionTask::new("t", || sum_sim(5, 2)).with_tracing(true));
+        let pooled = pool.run().unwrap();
+        assert_eq!(direct, pooled.sessions[0]);
+        assert!(direct.trace.is_some());
+        // The pool stamps queue waits on every report, metrics plane or not.
+        assert!(pooled.sessions[0].queue_wait > Duration::ZERO);
+        assert_eq!(
+            direct.queue_wait,
+            Duration::ZERO,
+            "no queue when run directly"
+        );
     }
 
     #[test]

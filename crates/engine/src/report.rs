@@ -84,6 +84,12 @@ pub struct SessionReport {
     pub phase_bytes: PhaseBytes,
     /// Wall-clock time of this session (build + execution).
     pub wall: Duration,
+    /// How long the session sat in its scheduler's admission queue before a
+    /// worker picked it up — [`SessionPool`](crate::SessionPool) stamps the
+    /// wait since `run()` started; open-loop drivers (the `mpca-obs` soak
+    /// harness) stamp the wait since the session's arrival was admitted.
+    /// Telemetry, like `wall`: **excluded from equality**.
+    pub queue_wait: Duration,
 }
 
 impl PartialEq for SessionReport {
@@ -145,6 +151,7 @@ impl SessionReport {
             },
             phase_bytes: result.phase_bytes,
             wall,
+            queue_wait: Duration::ZERO,
         }
     }
 
@@ -190,6 +197,9 @@ pub struct BatchReport {
     /// Per-session walls, sorted ascending at construction so quantile
     /// queries are O(1) lookups instead of per-call clone + sort.
     sorted_walls: Vec<Duration>,
+    /// Per-session queue waits, sorted ascending at construction — same
+    /// O(1) quantile contract as `sorted_walls`.
+    sorted_queue_waits: Vec<Duration>,
 }
 
 impl BatchReport {
@@ -206,6 +216,8 @@ impl BatchReport {
     ) -> Self {
         let mut sorted_walls: Vec<Duration> = sessions.iter().map(|s| s.wall).collect();
         sorted_walls.sort_unstable();
+        let mut sorted_queue_waits: Vec<Duration> = sessions.iter().map(|s| s.queue_wait).collect();
+        sorted_queue_waits.sort_unstable();
         Self {
             sessions,
             wall,
@@ -214,6 +226,7 @@ impl BatchReport {
             allocated_payload_bytes,
             phase_wall_us,
             sorted_walls,
+            sorted_queue_waits,
         }
     }
     /// Total bytes sent across all sessions.
@@ -256,12 +269,25 @@ impl BatchReport {
     /// sessions (usually the largest `n`) dominate the batch. O(1): walls
     /// are sorted once at construction.
     pub fn wall_quantile(&self, q: f64) -> Duration {
-        if self.sorted_walls.is_empty() {
-            return Duration::ZERO;
-        }
-        let walls = &self.sorted_walls;
-        let rank = ((q.clamp(0.0, 1.0) * walls.len() as f64).ceil() as usize).max(1) - 1;
-        walls[rank.min(walls.len() - 1)]
+        nearest_rank(&self.sorted_walls, q)
+    }
+
+    /// The `q`-quantile of per-session queue wait, by the same nearest-rank
+    /// method as [`BatchReport::wall_quantile`] — how long sessions sat in
+    /// the admission queue before a worker picked them up. A queue p99 far
+    /// above the queue p50 means the batch is worker-starved, not slow.
+    pub fn queue_quantile(&self, q: f64) -> Duration {
+        nearest_rank(&self.sorted_queue_waits, q)
+    }
+
+    /// Median per-session queue wait.
+    pub fn queue_p50(&self) -> Duration {
+        self.queue_quantile(0.5)
+    }
+
+    /// 99th-percentile per-session queue wait.
+    pub fn queue_p99(&self) -> Duration {
+        self.queue_quantile(0.99)
     }
 
     /// Median per-session wall-clock.
@@ -317,6 +343,16 @@ impl BatchReport {
     }
 }
 
+/// Nearest-rank quantile over an ascending-sorted slice: `0.5` is the
+/// median element, `1.0` the last. Empty slices answer zero.
+fn nearest_rank(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,14 +374,18 @@ mod tests {
             trace_log: None,
             phase_bytes: PhaseBytes::new(),
             wall: Duration::from_millis(wall_ms),
+            queue_wait: Duration::from_millis(wall_ms / 2),
         }
     }
 
     #[test]
-    fn equality_ignores_wall_clock() {
+    fn equality_ignores_wall_clock_and_queue_wait() {
         assert_eq!(report("a", 2, 5), report("a", 2, 500));
         assert_ne!(report("a", 2, 5), report("a", 3, 5));
         assert_ne!(report("a", 2, 5), report("b", 2, 5));
+        let mut waited = report("a", 2, 5);
+        waited.queue_wait = Duration::from_secs(9);
+        assert_eq!(report("a", 2, 5), waited, "queue wait is telemetry");
     }
 
     #[test]
@@ -403,6 +443,11 @@ mod tests {
         assert_eq!(batch.p50(), Duration::from_millis(20));
         assert_eq!(batch.p90(), Duration::from_millis(40));
         assert_eq!(batch.p99(), Duration::from_millis(40));
+        // Queue-wait quantiles rank independently of the walls (the helper
+        // sets queue_wait = wall/2, so the same ordering at half scale).
+        assert_eq!(batch.queue_p50(), Duration::from_millis(10));
+        assert_eq!(batch.queue_p99(), Duration::from_millis(20));
+        assert_eq!(batch.queue_quantile(0.0), Duration::from_millis(5));
         let slowest: Vec<&str> = batch
             .slowest_sessions(2)
             .iter()
@@ -419,6 +464,7 @@ mod tests {
         );
         assert_eq!(empty.wall_quantile(0.5), Duration::ZERO);
         assert_eq!(empty.p99(), Duration::ZERO);
+        assert_eq!(empty.queue_p99(), Duration::ZERO);
     }
 
     #[test]

@@ -448,6 +448,112 @@ mod tests {
     }
 
     #[test]
+    fn json_escapes_hostile_metric_names() {
+        // Names with JSON-significant characters must serialise to valid
+        // JSON and survive the round-trip byte-for-byte.
+        let snapshot = Snapshot {
+            counters: vec![
+                ("quote\"inside".into(), 1),
+                ("back\\slash".into(), 2),
+                ("both\"\\here".into(), 3),
+            ],
+            histograms: Vec::new(),
+        };
+        let json = snapshot.to_json();
+        assert!(json.contains("quote\\\"inside"));
+        assert!(json.contains("back\\\\slash"));
+        assert_eq!(Snapshot::from_json(&json), Some(snapshot));
+    }
+
+    #[test]
+    fn prometheus_sanitises_label_unsafe_names() {
+        // Prometheus metric names admit only [a-zA-Z0-9_:]; every other
+        // byte must be mapped away, including quotes and braces that would
+        // otherwise corrupt the exposition syntax.
+        let snapshot = Snapshot {
+            counters: vec![("evil\"name{with}=weird.chars".into(), 9)],
+            histograms: Vec::new(),
+        };
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("evil_name_with__weird_chars 9"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsanitised metric name in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_parses_back_to_the_snapshot() {
+        // Parse the exposition text back with a minimal Prometheus
+        // text-format reader and check it reproduces the snapshot:
+        // counters by value, histograms by de-cumulated buckets, sum and
+        // count. This is the contract a real scrape depends on.
+        let snapshot = sample();
+        let text = snapshot.to_prometheus();
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut buckets: Vec<(String, u64, u64)> = Vec::new(); // (metric, le, cumulative)
+        let mut sums: Vec<(String, u64)> = Vec::new();
+        let mut counts: Vec<(String, u64)> = Vec::new();
+        let mut types: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').unwrap();
+                types.push((name.into(), kind.into()));
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').unwrap();
+            let value: u64 = value.parse().unwrap();
+            if let Some((metric, label)) = series.split_once('{') {
+                let le = label
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix("\"}"))
+                    .unwrap();
+                let metric = metric.strip_suffix("_bucket").unwrap();
+                if le != "+Inf" {
+                    buckets.push((metric.into(), le.parse().unwrap(), value));
+                }
+            } else if let Some(metric) = series.strip_suffix("_sum") {
+                sums.push((metric.into(), value));
+            } else if let Some(metric) = series.strip_suffix("_count") {
+                counts.push((metric.into(), value));
+            } else {
+                counters.push((series.into(), value));
+            }
+        }
+        for (name, value) in &snapshot.counters {
+            assert!(counters.contains(&(prom_name(name), *value)));
+            assert!(types.contains(&(prom_name(name), "counter".into())));
+        }
+        for (name, h) in &snapshot.histograms {
+            let metric = prom_name(name);
+            assert!(types.contains(&(metric.clone(), "histogram".into())));
+            assert!(sums.contains(&(metric.clone(), h.sum)));
+            assert!(counts.contains(&(metric.clone(), h.count)));
+            // De-cumulate the scraped buckets and compare per-bucket counts.
+            let mut scraped: Vec<(u64, u64)> = buckets
+                .iter()
+                .filter(|(m, _, _)| *m == metric)
+                .map(|(_, le, cum)| (*le, *cum))
+                .collect();
+            scraped.sort_unstable();
+            let mut prev = 0;
+            let per_bucket: Vec<(u64, u64)> = scraped
+                .iter()
+                .map(|(le, cum)| {
+                    assert!(*cum >= prev, "cumulative counts must be nondecreasing");
+                    let n = cum - prev;
+                    prev = *cum;
+                    (*le, n)
+                })
+                .collect();
+            assert_eq!(&per_bucket, &h.buckets);
+        }
+    }
+
+    #[test]
     fn snapshot_of_live_registry() {
         let registry = Registry::default();
         registry.counter("snap.c").add(7);

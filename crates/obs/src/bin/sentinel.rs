@@ -1,0 +1,93 @@
+//! `sentinel` — the bench regression gate.
+//!
+//! ```text
+//! sentinel --results BENCH_results.json --baseline tests/golden/bench_baseline.json
+//! ```
+//!
+//! Prints the drift table and exits 0 when every baseline check is inside
+//! its tolerance band, 1 on drift (or an unresolvable check), 2 on usage
+//! or parse errors. `--expect-drift` inverts the verdict, so CI can assert
+//! that a known-bad fixture actually trips the gate.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sentinel --results <BENCH_results.json> --baseline <baseline.json> \
+         [--expect-drift]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flag = |name: &str| -> bool {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.remove(i);
+            })
+            .is_some()
+    };
+    let expect_drift = flag("--expect-drift");
+    let mut option = |name: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == name)?;
+        if i + 1 >= args.len() {
+            return None;
+        }
+        args.remove(i);
+        Some(args.remove(i))
+    };
+    let Some(results_path) = option("--results") else {
+        return usage();
+    };
+    let Some(baseline_path) = option("--baseline") else {
+        return usage();
+    };
+    if !args.is_empty() {
+        return usage();
+    }
+
+    let read = |path: &str| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("sentinel: cannot read {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let results = match read(&results_path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let baseline = match read(&baseline_path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+
+    let report = match mpca_obs::run_sentinel(&results, &baseline) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sentinel: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    let passed = report.passed();
+    match (passed, expect_drift) {
+        (true, false) => {
+            println!("sentinel: all {} checks in band", report.checks.len());
+            ExitCode::SUCCESS
+        }
+        (false, true) => {
+            println!("sentinel: drift detected, as the fixture expects");
+            ExitCode::SUCCESS
+        }
+        (false, false) => {
+            println!("sentinel: DRIFT — results left the blessed tolerance bands");
+            ExitCode::FAILURE
+        }
+        (true, true) => {
+            println!("sentinel: expected drift but every check passed");
+            ExitCode::FAILURE
+        }
+    }
+}

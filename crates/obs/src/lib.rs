@@ -1,0 +1,33 @@
+//! # mpca-obs
+//!
+//! The observability layer over the trace and metrics planes: the tooling
+//! that turns per-batch snapshots into service-shaped telemetry.
+//!
+//! * [`soak`] — an **open-loop soak harness**: a seeded arrival schedule
+//!   drives [`SessionTask`](mpca_engine::SessionTask)s through a bounded
+//!   admission queue at a configured rate, independent of completion
+//!   (arrivals that find the queue full are *shed*, not delayed — the
+//!   honest way to measure a service under overload). Telemetry is
+//!   windowed: rolling p50/p90/p99 session latency, queue wait,
+//!   scenarios/s and abort rate per window, emitted as time-series JSON
+//!   (schema `mpc-aborts/soak/v1`).
+//! * [`chrome`] — **causal span export**: a session's pool timings
+//!   (queue wait, build+execute wall) and its trace-plane milestone stream
+//!   become Chrome trace-event JSON that Perfetto loads as a
+//!   flamegraph-style timeline, with phase sub-spans and milestone
+//!   instants nested under the execution span.
+//! * [`sentinel`] — the **bench regression sentinel**: a dependency-free
+//!   checker that diffs a fresh `BENCH_results.json` against a checked-in
+//!   baseline with per-metric tolerance bands and prints a drift table;
+//!   the `sentinel` binary exits nonzero on drift so CI can gate on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod sentinel;
+pub mod soak;
+
+pub use chrome::ChromeTrace;
+pub use sentinel::{run_sentinel, SentinelReport};
+pub use soak::{run_soak, SoakConfig, SoakReport, WindowStats};

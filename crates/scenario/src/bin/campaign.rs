@@ -15,6 +15,16 @@
 //!   cargo run -p mpca-scenario --release --bin campaign -- --search --tiny --seed 7
 //!   cargo run -p mpca-scenario --release --bin campaign -- --search --tiny --rig loosen-flooding --cex-dir tests/counterexamples
 //!   cargo run -p mpca-scenario --release --bin campaign -- --replay-cex tests/counterexamples --backend parallel
+//!   cargo run -p mpca-scenario --release --bin campaign -- --soak 10 --rate 200 --capacity 8
+//!
+//! `--soak SECS` switches from one-shot batch mode to the `mpca-obs`
+//! open-loop soak harness: a seeded arrival schedule admits mixed-traffic
+//! scenarios (the tiny sweep's cross-product, re-seeded per cycle) through
+//! a bounded queue at `--rate` arrivals/s, sheds what does not fit, and
+//! emits windowed latency/throughput/abort telemetry as
+//! `mpc-aborts/soak/v1` JSON (stdout, or `--soak-out PATH`). `--spans
+//! PATH` additionally exports the sampled slowest sessions as Chrome
+//! trace-event JSON for Perfetto.
 //!
 //! Every run is **traced**: sessions record their full event stream, the
 //! oracle's identified-abort predicate runs behaviourally against the
@@ -38,12 +48,14 @@
 //! what the CI smoke steps rely on. Sweep runs narrate progress to stderr
 //! while the pool drains.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mpca_engine::{Parallel, Sequential, SessionProgress};
+use mpca_obs::{run_soak, SoakConfig};
 use mpca_scenario::{
     campaign_by_name, run_search, standard_campaign, sweep_campaign, tiny_campaign,
     tiny_sweep_campaign, Campaign, CampaignReport, Counterexample, Rig, SearchConfig, SearchReport,
+    SoakWorkload,
 };
 use mpca_trace::TraceFile;
 
@@ -54,7 +66,9 @@ fn usage() -> ! {
          [--metrics PATH] [--list]\n\
          \x20      campaign --search [--tiny] [--seed N] [--budget N] \
          [--rig loosen-flooding] [--cex-dir DIR] [--workers N] [--backend B]\n\
-         \x20      campaign --replay-cex DIR [--backend B]"
+         \x20      campaign --replay-cex DIR [--backend B]\n\
+         \x20      campaign --soak SECS [--rate R] [--capacity N] [--window SECS] \
+         [--soak-out PATH] [--spans PATH] [--seed N] [--workers N] [--backend B]"
     );
     std::process::exit(2);
 }
@@ -215,6 +229,92 @@ fn run_search_mode(config: &SearchConfig, backend: &str, cex_dir: Option<&str>) 
     }
 }
 
+/// Options for the open-loop soak mode, straight off the command line.
+struct SoakOptions {
+    secs: f64,
+    rate: f64,
+    capacity: Option<usize>,
+    window: f64,
+    soak_out: Option<String>,
+    spans: Option<String>,
+}
+
+/// Runs the `mpca-obs` soak harness over the [`SoakWorkload`] mixed-traffic
+/// stream, emits the windowed time-series JSON (stdout or `--soak-out`),
+/// optionally exports Chrome trace-event spans, and exits non-zero if any
+/// admitted session failed to execute.
+fn run_soak_mode(opts: &SoakOptions, seed: u64, workers: usize, backend: &str) {
+    if opts.secs <= 0.0 || opts.rate <= 0.0 || opts.window <= 0.0 {
+        usage();
+    }
+    let workload = SoakWorkload::new(seed);
+    let mut config = SoakConfig::new(Duration::from_secs_f64(opts.secs), opts.rate)
+        .with_workers(workers)
+        .with_seed(seed)
+        .with_window(Duration::from_secs_f64(opts.window));
+    if let Some(capacity) = opts.capacity {
+        config = config.with_capacity(capacity);
+    }
+    eprintln!(
+        "soaking: {:.1}s at {:.1} arrivals/s, queue bound {}, {workers} workers, \
+         {} scenario templates, {backend} backend, seed {seed}",
+        opts.secs,
+        opts.rate,
+        config.capacity,
+        workload.templates(),
+    );
+    let report = match backend {
+        "sequential" => run_soak(&config, &Sequential, |index| workload.task(index)),
+        "parallel" => run_soak(&config, &Parallel::default(), |index| workload.task(index)),
+        _ => usage(),
+    };
+    eprintln!(
+        "soak done in {:.1}s: {} arrivals ({} admitted, {} shed), {} completed \
+         ({} aborted, {} errors); wall p50/p99 {:.1}/{:.1} ms, queue p99 {:.1} ms, \
+         {:.1} scenarios/s over {} windows",
+        report.elapsed.as_secs_f64(),
+        report.arrivals,
+        report.admitted,
+        report.shed,
+        report.completed,
+        report.aborted,
+        report.errors,
+        report.wall_p50_us as f64 / 1e3,
+        report.wall_p99_us as f64 / 1e3,
+        report.queue_p99_us as f64 / 1e3,
+        report.scenarios_per_sec(),
+        report.windows.len(),
+    );
+    let json = report.to_json();
+    match &opts.soak_out {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote soak time-series to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => println!("{json}"),
+    }
+    if let Some(path) = &opts.spans {
+        let trace = report.chrome_trace();
+        match std::fs::write(path, trace.render()) {
+            Ok(()) => eprintln!(
+                "wrote Chrome trace-event spans for {} sampled sessions to {path}",
+                report.sampled.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("{} sessions failed to execute", report.errors);
+        std::process::exit(1);
+    }
+}
+
 /// Replays every `*.cex` file under `dir` on the chosen backend; any
 /// mismatch (or an unparseable/empty directory) is fatal.
 fn replay_counterexamples(dir: &str, backend: &str) {
@@ -326,6 +426,30 @@ fn main() {
         .iter()
         .position(|a| a == "--replay-cex")
         .map(|pos| parse(&mut args, pos));
+    let soak: Option<f64> = args
+        .iter()
+        .position(|a| a == "--soak")
+        .map(|pos| parse(&mut args, pos));
+    let rate: f64 = match args.iter().position(|a| a == "--rate") {
+        Some(pos) => parse(&mut args, pos),
+        None => 50.0,
+    };
+    let capacity: Option<usize> = args
+        .iter()
+        .position(|a| a == "--capacity")
+        .map(|pos| parse(&mut args, pos));
+    let window: f64 = match args.iter().position(|a| a == "--window") {
+        Some(pos) => parse(&mut args, pos),
+        None => 1.0,
+    };
+    let soak_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--soak-out")
+        .map(|pos| parse(&mut args, pos));
+    let spans: Option<String> = args
+        .iter()
+        .position(|a| a == "--spans")
+        .map(|pos| parse(&mut args, pos));
     if !args.is_empty() {
         usage();
     }
@@ -363,6 +487,24 @@ fn main() {
     // whole campaign.
     if metrics.is_some() {
         mpca_metrics::set_enabled(true);
+    }
+
+    // Soak mode: sustained open-loop load through the bounded admission
+    // queue, with windowed telemetry instead of oracle verdict tables.
+    if let Some(secs) = soak {
+        let opts = SoakOptions {
+            secs,
+            rate,
+            capacity,
+            window,
+            soak_out,
+            spans,
+        };
+        run_soak_mode(&opts, seed, workers, &backend);
+        if let Some(path) = metrics {
+            write_metrics(&path);
+        }
+        return;
     }
 
     // Replay path: the recorded file names the campaign and seed; the

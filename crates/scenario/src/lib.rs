@@ -59,6 +59,7 @@ pub mod plan;
 pub mod registry;
 pub mod report;
 pub mod search;
+pub mod soak;
 pub mod spec;
 
 pub use cex::{CexMismatch, Counterexample, CEX_SCHEMA};
@@ -70,4 +71,5 @@ pub use plan::{
 };
 pub use report::CampaignReport;
 pub use search::{run_search, Candidate, Finding, Rig, SearchConfig, SearchReport};
+pub use soak::SoakWorkload;
 pub use spec::{AdversarySpec, CorruptionSpec, TriggerSpec};

@@ -296,6 +296,7 @@ fn charged_honest_bits(report: &SessionReport) -> u64 {
 ///     trace: None,
 ///     trace_log: None,
 ///     wall: Duration::ZERO,
+///     queue_wait: Duration::ZERO,
 ///     phase_bytes: mpca_metrics::PhaseBytes::new(),
 /// };
 /// let outcome = Oracle::new().evaluate(scenario, report);
@@ -600,6 +601,7 @@ mod tests {
             trace: None,
             trace_log: None,
             wall: Duration::ZERO,
+            queue_wait: Duration::ZERO,
             phase_bytes: mpca_metrics::PhaseBytes::new(),
         }
     }

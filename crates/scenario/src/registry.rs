@@ -16,7 +16,7 @@ use mpca_core::{
     all_to_all, broadcast, local_mpc, mpc, tradeoff, unchecked, FrameSchema, ProtocolKind,
 };
 use mpca_encfunc::Functionality;
-use mpca_engine::{ExecutionBackend, SessionPool};
+use mpca_engine::{ExecutionBackend, SessionPool, SessionTask};
 use mpca_net::{
     AbortAt, Adversary, CommonRandomString, Compose, Envelope, Equivocate, FloodBudget, NetError,
     NoAdversary, PartyId, PartyLogic, Payload, ProxyAdversary, SilentAdversary, SimConfig,
@@ -57,14 +57,26 @@ fn crs_label(scenario: &Scenario) -> Vec<u8> {
     .concat()
 }
 
-/// Submits `scenario` to `pool` as one session.
+/// Submits `scenario` to `pool` as one session, mirroring the pool's
+/// tracing configuration onto the task.
 ///
 /// The session label is the scenario label, so the campaign can zip pool
 /// reports back onto scenarios in submission order.
 pub fn submit_scenario<B: ExecutionBackend>(pool: &mut SessionPool<B>, scenario: &Scenario) {
+    let task = scenario_task(scenario)
+        .with_tracing(pool.tracing())
+        .with_trace_logs(pool.trace_logs());
+    pool.submit_task(task);
+}
+
+/// Compiles `scenario` into a standalone [`SessionTask`] — the same
+/// build-and-execute closure a pooled submission gets, but schedulable by
+/// any driver (the `mpca-obs` soak harness admits these one arrival at a
+/// time instead of as a batch).
+pub fn scenario_task<B: ExecutionBackend>(scenario: &Scenario) -> SessionTask<B> {
     let sc = scenario.clone();
     match scenario.kind {
-        ProtocolKind::Theorem1Mpc => pool.submit(sc.label.clone(), move || {
+        ProtocolKind::Theorem1Mpc => SessionTask::new(sc.label.clone(), move || {
             let params = sc.params();
             let inputs = sum_inputs(sc.n, sc.seed);
             let crs = CommonRandomString::from_label(&crs_label(&sc));
@@ -79,7 +91,7 @@ pub fn submit_scenario<B: ExecutionBackend>(pool: &mut SessionPool<B>, scenario:
             );
             finish(&sc, parties)
         }),
-        ProtocolKind::Theorem2LocalMpc => pool.submit(sc.label.clone(), move || {
+        ProtocolKind::Theorem2LocalMpc => SessionTask::new(sc.label.clone(), move || {
             let params = sc.params();
             let inputs = sum_inputs(sc.n, sc.seed);
             let crs = CommonRandomString::from_label(&crs_label(&sc));
@@ -92,7 +104,7 @@ pub fn submit_scenario<B: ExecutionBackend>(pool: &mut SessionPool<B>, scenario:
             );
             finish(&sc, parties)
         }),
-        ProtocolKind::Theorem4Tradeoff => pool.submit(sc.label.clone(), move || {
+        ProtocolKind::Theorem4Tradeoff => SessionTask::new(sc.label.clone(), move || {
             let params = sc.params();
             let inputs = sum_inputs(sc.n, sc.seed);
             let crs = CommonRandomString::from_label(&crs_label(&sc));
@@ -107,7 +119,7 @@ pub fn submit_scenario<B: ExecutionBackend>(pool: &mut SessionPool<B>, scenario:
             );
             finish(&sc, parties)
         }),
-        ProtocolKind::Broadcast => pool.submit(sc.label.clone(), move || {
+        ProtocolKind::Broadcast => SessionTask::new(sc.label.clone(), move || {
             let message = vec![0xB7u8 ^ sc.seed as u8; SCENARIO_MESSAGE_BYTES];
             let parties = broadcast::broadcast_parties(
                 sc.n,
@@ -117,7 +129,7 @@ pub fn submit_scenario<B: ExecutionBackend>(pool: &mut SessionPool<B>, scenario:
             );
             finish(&sc, parties)
         }),
-        ProtocolKind::SuccinctAllToAll => pool.submit(sc.label.clone(), move || {
+        ProtocolKind::SuccinctAllToAll => SessionTask::new(sc.label.clone(), move || {
             let inputs: Vec<Vec<u8>> = (0..sc.n)
                 .map(|i| vec![i as u8 ^ sc.seed as u8; SCENARIO_MESSAGE_BYTES])
                 .collect();
@@ -125,7 +137,7 @@ pub fn submit_scenario<B: ExecutionBackend>(pool: &mut SessionPool<B>, scenario:
                 all_to_all::succinct_parties(&inputs, 20, &crs_label(&sc), &skip_construction(&sc));
             finish(&sc, parties)
         }),
-        ProtocolKind::UncheckedSum => pool.submit(sc.label.clone(), move || {
+        ProtocolKind::UncheckedSum => SessionTask::new(sc.label.clone(), move || {
             let values: Vec<u64> = (0..sc.n as u64)
                 .map(|i| (i * 13 + 1).wrapping_add(sc.seed))
                 .collect();

@@ -110,6 +110,35 @@ impl CampaignReport {
         self.wall_quantile(0.99)
     }
 
+    /// Per-scenario pool queue waits sorted ascending.
+    fn sorted_queue_waits(&self) -> Vec<Duration> {
+        let mut waits: Vec<Duration> = self.outcomes.iter().map(|o| o.report.queue_wait).collect();
+        waits.sort_unstable();
+        waits
+    }
+
+    /// Nearest-rank queue-wait quantile across the campaign (`q` in
+    /// `[0, 1]`); `Duration::ZERO` on an empty campaign. Telemetry, not part
+    /// of any determinism contract.
+    pub fn queue_quantile(&self, q: f64) -> Duration {
+        let waits = self.sorted_queue_waits();
+        if waits.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * waits.len() as f64).ceil() as usize).clamp(1, waits.len());
+        waits[rank - 1]
+    }
+
+    /// Median pool queue wait across the campaign.
+    pub fn queue_p50(&self) -> Duration {
+        self.queue_quantile(0.50)
+    }
+
+    /// 99th-percentile pool queue wait across the campaign.
+    pub fn queue_p99(&self) -> Duration {
+        self.queue_quantile(0.99)
+    }
+
     /// The per-scenario trace summaries of a traced campaign run
     /// ([`Campaign::run_traced`](crate::Campaign::run_traced)), in
     /// submission order — what `campaign --record` writes into a
@@ -211,5 +240,8 @@ mod tests {
         let digest = report.verdict_digest();
         assert_eq!(digest.lines().count(), 2);
         assert!(digest.contains("=HHHHHH"), "{digest}");
+        // Pooled sessions always wait a nonzero time for a worker pickup.
+        assert!(report.queue_p99() >= report.queue_p50());
+        assert!(report.queue_p99() > std::time::Duration::ZERO);
     }
 }

@@ -33,6 +33,12 @@
 //! * [`engine`] — the batch-execution runtime: sequential/parallel
 //!   round-stepping backends and a [`SessionPool`](engine::SessionPool) for
 //!   running fleets of sessions concurrently with deterministic results,
+//! * [`obs`] — the observability layer: an open-loop soak harness
+//!   ([`run_soak`](obs::run_soak)) with bounded admission and windowed
+//!   latency/throughput telemetry, Chrome trace-event span export
+//!   ([`ChromeTrace`](obs::ChromeTrace)) for Perfetto, and the bench
+//!   regression sentinel ([`run_sentinel`](obs::run_sentinel)) that diffs
+//!   `BENCH_results.json` against a blessed baseline,
 //! * [`scenario`] — declarative adversarial scenarios: adversary classes as
 //!   data ([`AdversarySpec`](scenario::AdversarySpec)), campaign plans that
 //!   compile into pooled batches, a security-property oracle checking every
@@ -76,6 +82,7 @@ pub use mpca_encfunc as encfunc;
 pub use mpca_engine as engine;
 pub use mpca_metrics as metrics;
 pub use mpca_net as net;
+pub use mpca_obs as obs;
 pub use mpca_predicate as predicate;
 pub use mpca_scenario as scenario;
 pub use mpca_trace as trace;
